@@ -1,0 +1,67 @@
+"""Extra bench: the introduction's cohesion-model comparison.
+
+For every dataset at its default k, count the components each model
+produces and the vertices it keeps. The paper's intro claim in numbers:
+the connectivity-based models are strictly more discriminating — they
+keep no more vertices than the local models, and the k-VCC count is
+the finest sound decomposition (trap bridges and dense waists survive
+every weaker notion).
+"""
+
+from repro.bench import render_table
+from repro.cohesion import k_edge_components, k_truss
+from repro.core import vcce_td
+from repro.datasets import DATASETS
+from repro.graph import k_core
+from repro.graph.traversal import connected_components
+
+NAMES = ("ca-dblp", "sc-shipsec", "uk-2005", "socfb-konect")
+
+
+def test_cohesion_ladder(benchmark, emit):
+    def sweep():
+        rows = []
+        for name in NAMES:
+            dataset = DATASETS[name]
+            graph = dataset.graph()
+            k = dataset.default_k
+            core = k_core(graph, k)
+            core_comps = [
+                c for c in connected_components(core) if len(c) > k
+            ]
+            truss = k_truss(graph, k)
+            truss_comps = [
+                c for c in connected_components(truss) if len(c) > k
+            ]
+            eccs = [c for c in k_edge_components(graph, k) if len(c) > k]
+            vccs = vcce_td(graph, k).components
+            def cell(comps):
+                union = set()
+                for c in comps:
+                    union |= set(c)
+                return f"{len(comps)}/{len(union)}"
+
+            rows.append(
+                [name, k, cell(core_comps), cell(truss_comps),
+                 cell(eccs), cell(vccs)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "cohesion_ladder",
+        render_table(
+            "Cohesion ladder: components/covered vertices per model",
+            ["dataset", "k", "k-core", "k-truss", "k-ECC", "k-VCC"],
+            rows,
+        ),
+    )
+    for row in rows:
+        counts = [int(c.split("/")[0]) for c in row[2:]]
+        covers = [int(c.split("/")[1]) for c in row[2:]]
+        # the ladder: each strictly stronger connectivity model keeps
+        # no more vertices (every k-VCC sits inside some k-ECC, every
+        # k-ECC inside the k-core) …
+        assert covers[0] >= covers[2] >= covers[3], row
+        # … and the k-VCC decomposition is at least as fine as k-ECC
+        assert counts[3] >= counts[2], row

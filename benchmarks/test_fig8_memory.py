@@ -1,0 +1,45 @@
+"""Figure 8: peak memory of the three algorithms.
+
+Paper shape: VCCE-TD's recursive graph partitioning stores stacks of
+subgraph copies and uses orders of magnitude more memory than the
+bottom-up methods on most graphs (24GB vs ~100MB on ca-citeseer);
+RIPPLE and VCCE-BU stay within the same order of magnitude of each
+other; on the giant-component graph (socfb-konect) the gap narrows
+because one huge seed dominates everyone's footprint.
+"""
+
+from repro.bench import bar_chart, fig8_rows, render_table
+
+HEADERS = ["dataset", "k", "VCCE-TD KiB", "VCCE-BU KiB", "RIPPLE KiB"]
+
+
+def test_fig8_peak_memory(benchmark, emit):
+    rows = benchmark.pedantic(fig8_rows, rounds=1, iterations=1)
+    chart = bar_chart(
+        "Figure 8 (VCCE-TD peaks, log scale)",
+        [row[0] for row in rows],
+        [row[2] for row in rows],
+        unit=" KiB",
+        log=True,
+    )
+    emit(
+        "fig8_memory",
+        render_table(
+            "Figure 8: peak traced allocations (KiB)", HEADERS, rows
+        )
+        + "\n\n"
+        + chart,
+    )
+    assert len(rows) == 10
+    td_beats_ripple = 0
+    for row in rows:
+        name, k, td_kib, bu_kib, rp_kib = row
+        assert td_kib > 0 and bu_kib > 0 and rp_kib > 0
+        # bottom-up methods stay within one order of magnitude of each
+        # other (paper: "comparable memory usage").
+        ratio = max(bu_kib, rp_kib) / min(bu_kib, rp_kib)
+        assert ratio < 10, row
+        if td_kib > rp_kib:
+            td_beats_ripple += 1
+    # The top-down partitioning out-allocates RIPPLE on most datasets.
+    assert td_beats_ripple >= 6, [r[0] for r in rows]

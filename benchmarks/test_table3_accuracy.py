@@ -1,0 +1,63 @@
+"""Table III: accuracy of RIPPLE vs VCCE-BU against exact results.
+
+Paper shape: RIPPLE beats VCCE-BU on F_same and J_Index on every
+(dataset, k) row; the J_Index gap is dramatic on the graphs whose
+structure trips Neighbor-Based Merging (sc-shipsec, socfb-konect drop
+to single digits for VCCE-BU); both metrics hit 100% on the dense web
+graphs (uk-2005, it-2004); accuracy decreases as k grows on the
+collaboration graphs.
+"""
+
+from repro.bench import render_table, table3_rows
+
+HEADERS = [
+    "dataset", "k",
+    "F_same RIPPLE", "F_same VCCE-BU",
+    "J_Index RIPPLE", "J_Index VCCE-BU",
+]
+
+
+def test_table3_accuracy(benchmark, emit):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    emit(
+        "table3_accuracy",
+        render_table(
+            "Table III: accuracy comparison (percent)", HEADERS, rows
+        ),
+    )
+    by_dataset: dict[str, list] = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], []).append(row)
+
+    # RIPPLE is at least as accurate as VCCE-BU on every row. On the
+    # deliberately clique-poor stand-in both heuristics fragment
+    # identically and a lucky NBM over-merge can nose ahead by a
+    # point, so that dataset gets a small tolerance.
+    for row in rows:
+        name, k, rp_f, bu_f, rp_j, bu_j = row
+        slack = 1.5 if name == "ca-mathscinet" else 0.01
+        assert rp_f >= bu_f - slack, row
+        assert rp_j >= bu_j - slack, row
+
+    # Dense web graphs: both algorithms perfect (uk-2005 / it-2004).
+    for name in ("uk-2005", "it-2004"):
+        for row in by_dataset[name]:
+            assert row[2] == 100.0 and row[3] == 100.0, row
+
+    # NBM-trap graphs: VCCE-BU's J_Index collapses while RIPPLE stays
+    # high — the paper's most striking rows.
+    for name in ("sc-shipsec", "socfb-konect"):
+        for row in by_dataset[name]:
+            assert row[4] >= 85.0, row  # RIPPLE J_Index stays high
+            assert row[5] <= 60.0, row  # VCCE-BU J_Index collapses
+
+    # RIPPLE's F_same stays usable everywhere except the deliberately
+    # adversarial clique-poor dataset.
+    for row in rows:
+        if row[0] != "ca-mathscinet":
+            assert row[2] >= 70.0, row
+
+    # Accuracy decreases with k on the collaboration graphs.
+    for name in ("ca-condmat", "ca-citeseer", "ca-dblp"):
+        f_values = [row[2] for row in by_dataset[name]]
+        assert f_values[0] > f_values[-1], (name, f_values)

@@ -1,0 +1,39 @@
+"""Table V: ablation of RIPPLE's three modules.
+
+Paper shape: full RIPPLE has the best accuracy on every dataset; each
+swap toward a baseline module loses something — replacing FBM with NBM
+collapses accuracy on the trap datasets, replacing RME with UE drops
+coverage of jointly-supported vertices, and replacing QkVCS with LkVCS
+mainly costs seeding time and coverage.
+"""
+
+from repro.bench import render_table, table5_rows
+
+HEADERS = ["dataset", "k", "variant", "time s", "F_same", "J_Index"]
+
+
+def test_table5_ablation(benchmark, emit):
+    rows = benchmark.pedantic(table5_rows, rounds=1, iterations=1)
+    emit(
+        "table5_ablation",
+        render_table("Table V: ablation study", HEADERS, rows),
+    )
+    by_dataset: dict[str, dict[str, list]] = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], {})[row[2]] = row
+
+    for name, variants in by_dataset.items():
+        full = variants["RIPPLE"]
+        # full RIPPLE is the accuracy front-runner on every dataset
+        for label, row in variants.items():
+            assert full[4] >= row[4] - 0.01, (name, label, row)
+            assert full[5] >= row[5] - 0.01, (name, label, row)
+
+    # NBM hurts exactly where the paper says: the trap datasets.
+    for name in ("sc-shipsec", "socfb-konect"):
+        variants = by_dataset[name]
+        assert variants["noFBM"][5] < variants["RIPPLE"][5] - 20, variants
+
+    # UE loses the periphery on the heavy-periphery dataset.
+    dblp = by_dataset["ca-dblp"]
+    assert dblp["noRME"][4] < dblp["RIPPLE"][4], dblp

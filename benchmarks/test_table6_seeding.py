@@ -1,0 +1,47 @@
+"""Table VI: QkVCS seeding coverage and speedup over LkVCS.
+
+Paper shape: the cheap stages cover most of the k-core before the
+LkVCS fallback runs — BK-MCQ is the heavy lifter (100% coverage on the
+dense web graphs), kBFS contributes a complementary share, and total
+coverage exceeds 80% everywhere. The paper reports 4-22x seeding
+speedups at multi-million-vertex scale; at toy scale the constant
+factors of the two seeders nearly cancel, so we assert the coverage
+structure and that the measured ratio stays within a sane band
+(documented in EXPERIMENTS.md).
+"""
+
+from repro.bench import render_table, table6_rows
+
+HEADERS = ["dataset", "k", "kBFS %", "BK-MCQ %", "total %", "speedup x"]
+
+
+def test_table6_seeding_efficiency(benchmark, emit):
+    rows = benchmark.pedantic(table6_rows, rounds=1, iterations=1)
+    emit(
+        "table6_seeding",
+        render_table(
+            "Table VI: QkVCS coverage of the k-core and speedup vs LkVCS",
+            HEADERS,
+            rows,
+        ),
+    )
+    assert rows
+    by_dataset: dict[str, list] = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], []).append(row)
+
+    for row in rows:
+        name, k, kbfs, clique, total, speedup = row
+        assert 0.0 <= kbfs <= 100.0
+        assert 0.0 <= clique <= 100.0
+        # the union covers at least each stage alone
+        assert total >= max(kbfs, clique) - 0.01, row
+        # coverage is high wherever the evaluated k has clique support;
+        # mixed-build-k datasets drop toward the paper's ~80% floor at
+        # their largest k (only some communities carry (k+1)-cliques)
+        assert total >= 55.0, row
+        assert speedup > 0.05, row
+
+    # BK-MCQ covers the dense web graph completely (paper: uk-2005).
+    for row in by_dataset["uk-2005"]:
+        assert row[3] == 100.0, row

@@ -1,0 +1,78 @@
+"""The cohesion ladder: k-core vs k-truss vs k-ECC vs k-VCC.
+
+The paper's introduction argues that local density notions (cores,
+trusses, cliques) miss what actually holds a community together —
+connectivity — and that vertex connectivity is the strongest practical
+guarantee. This demo makes that argument concrete on one graph: two
+genuinely robust groups joined through a deceptive "dense waist" that
+every local model swallows and only connectivity-based models reject.
+
+Run:  python examples/cohesion_ladder.py
+"""
+
+from repro import ripple
+from repro.cohesion import k_edge_components, k_truss
+from repro.graph import Graph, community_graph, k_core
+from repro.graph.traversal import connected_components
+
+
+def build_waisted_graph(k: int) -> Graph:
+    """Two k-connected communities joined through two hub vertices.
+
+    The hubs make the waist look dense (high degree, many triangles)
+    and even k-EDGE-connected (each hub carries k edges per side), but
+    the two hub *vertices* are a cut of size 2: only vertex
+    connectivity sees the fragility.
+    """
+    g = community_graph([24, 24], k=k, seed=5, bridge_width=1)
+    # delete the thin bridge; rebuild the connection through two hubs
+    # that each form a (k+1)-clique with vertices of both sides
+    for u, v in list(g.edges()):
+        if (u < 24) != (v < 24):
+            g.remove_edge(u, v)
+    hub1, hub2 = "hub1", "hub2"
+    g.add_edge(hub1, hub2)
+    for side_start in (0, 24):
+        anchors = list(range(side_start, side_start + k))
+        for hub in (hub1, hub2):
+            for a in anchors:
+                g.add_edge(hub, a)
+    return g
+
+
+def main() -> None:
+    k = 4
+    graph = build_waisted_graph(k)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} "
+          f"edges; two robust groups + a deceptive 2-hub waist; k={k}\n")
+
+    core = k_core(graph, k)
+    core_comps = [c for c in connected_components(core) if len(c) > 1]
+    print(f"{k}-core:  {len(core_comps)} component(s), sizes "
+          f"{sorted(map(len, core_comps), reverse=True)}")
+
+    truss = k_truss(graph, k)
+    truss_comps = [
+        c for c in connected_components(truss) if len(c) > 1
+    ]
+    print(f"{k}-truss: {len(truss_comps)} component(s), sizes "
+          f"{sorted(map(len, truss_comps), reverse=True)}")
+
+    eccs = k_edge_components(graph, k)
+    print(f"{k}-ECC:   {len(eccs)} component(s), sizes "
+          f"{sorted(map(len, eccs), reverse=True)}")
+
+    vccs = ripple(graph, k)
+    print(f"{k}-VCC:   {vccs.num_components} component(s), sizes "
+          f"{sorted(map(len, vccs.components), reverse=True)}")
+
+    print("\nevery weaker model — degree, triangles, even edge "
+          "connectivity — glues the graph into one blob: the waist "
+          "survives any 3 LINK failures. But the two hub ROUTERS are "
+          "a vertex cut of size 2, and only the k-VCC model exposes "
+          "it. This is the paper's case for vertex connectivity as "
+          "the community-cohesion gold standard.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The k-VCC hierarchy: Figure 1 of the paper, reproduced and extended.
+
+Builds a graph with the Figure 1 structure (a K5, a larger 3-connected
+group, a connector, and a pendant) and prints the full decomposition
+for every k, then ranks vertices by their deepest level — a
+connectivity-based importance score that, unlike the k-core number,
+cannot be inflated by dense-but-separable neighbourhoods.
+
+Run:  python examples/connectivity_hierarchy.py
+"""
+
+import itertools
+
+from repro import Graph, kvcc_hierarchy, membership_levels
+from repro.graph import core_numbers
+
+
+def figure1_graph() -> Graph:
+    """The running example of the paper's Figure 1 (16 vertices)."""
+    g = Graph()
+    for u, v in itertools.combinations(range(10, 15), 2):
+        g.add_edge(u, v)  # G2: a K5 → 4-vertex connected
+    for i in range(9):  # G3: ring with chords → 3-vertex connected
+        g.add_edge(1 + i, 1 + (i + 1) % 9)
+        g.add_edge(1 + i, 1 + (i + 2) % 9)
+    g.remove_edge(1, 3)
+    g.add_edge(15, 1)   # v15 ties the groups together …
+    g.add_edge(15, 2)
+    g.add_edge(15, 10)
+    g.add_edge(15, 11)
+    g.add_edge(9, 14)   # … plus a direct bridge: 2- but not 3-connected
+    g.add_edge(16, 9)   # v16 hangs off by a single edge
+    return g
+
+
+def main() -> None:
+    graph = figure1_graph()
+    print(f"Figure 1 graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges\n")
+
+    levels = kvcc_hierarchy(graph)
+    for k in sorted(levels):
+        rendered = "; ".join(
+            "{" + ", ".join(f"v{u}" for u in sorted(c)) + "}"
+            for c in levels[k]
+        )
+        print(f"k={k}: {len(levels[k])} component(s): {rendered}")
+
+    print("\nvertex importance: deepest k-VCC level vs k-core number")
+    depth = membership_levels(graph)
+    core = core_numbers(graph)
+    header = f"{'vertex':>7} {'k-VCC level':>12} {'core number':>12}"
+    print(header)
+    for u in sorted(graph.vertices()):
+        print(f"{'v' + str(u):>7} {depth[u]:>12} {core[u]:>12}")
+
+    print("\nNote how v15 carries core number 3 (it touches both dense "
+          "groups) while its true connectivity level is only 2 — it "
+          "can be split off by removing two vertices. The k-VCC "
+          "hierarchy sees through local density.")
+
+
+if __name__ == "__main__":
+    main()

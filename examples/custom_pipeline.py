@@ -1,0 +1,56 @@
+"""Build-your-own bottom-up pipeline: the full configuration grid.
+
+Algorithm 5 of the paper is one point in a configuration space this
+library exposes directly: {QkVCS, LkVCS} seeding × {UE, RME, ME}
+expansion × {FBM, NBM} merging × round ordering. This demo runs the
+whole grid on one graph with known ground truth and prints a league
+table — the paper's Table V, generalised.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import itertools
+import time
+
+from repro import accuracy_report, bottom_up_pipeline, vcce_td
+from repro.graph import community_graph
+
+
+def main() -> None:
+    k = 4
+    graph = community_graph(
+        [40, 44, 42], k=k, seed=21,
+        periphery_pairs=2, mixed_chains=1, bridge_style="two_star",
+    )
+    exact = vcce_td(graph, k)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+          f"exact result: {exact.num_components} {k}-VCCs\n")
+
+    grid = itertools.product(
+        ("qkvcs", "lkvcs"), ("rme", "ue", "me"), ("fbm", "nbm")
+    )
+    print(f"{'seeding':8} {'expand':7} {'merge':6} "
+          f"{'time':>7} {'F_same':>8} {'J_Index':>8}")
+    rows = []
+    for seeding, expansion, merging in grid:
+        start = time.perf_counter()
+        result = bottom_up_pipeline(
+            graph, k, seeding=seeding, expansion=expansion,
+            merging=merging,
+        )
+        elapsed = time.perf_counter() - start
+        scores = accuracy_report(result.components, exact.components)
+        rows.append((seeding, expansion, merging, elapsed, scores))
+        print(f"{seeding:8} {expansion:7} {merging:6} "
+              f"{elapsed:6.2f}s {scores['F_same']:7.1f}% "
+              f"{scores['J_Index']:7.1f}%")
+
+    best = max(rows, key=lambda r: (r[4]["J_Index"], -r[3]))
+    print(f"\nbest configuration: {best[0]}+{best[1]}+{best[2]} — "
+          "the paper's RIPPLE recipe (QkVCS + RME + FBM) should be on "
+          "or near the accuracy frontier, with ME variants trading "
+          "time for the last points of accuracy.")
+
+
+if __name__ == "__main__":
+    main()

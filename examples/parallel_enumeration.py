@@ -1,0 +1,48 @@
+"""Parallel RIPPLE: fanning seeding, merging, and expansion over workers.
+
+Mirrors the paper's Section VI-E: RIPPLE's three phases decompose into
+independent tasks (clique roots, merge-pair checks, per-seed
+expansions). This demo runs the same enumeration sequentially and with
+process-pool parallelism, checks the results agree, and prints the
+wall-clock scaling.
+
+Run:  python examples/parallel_enumeration.py
+"""
+
+import time
+
+from repro import ParallelConfig, parallel_ripple, ripple
+from repro.graph import community_graph
+
+
+def main() -> None:
+    k = 4
+    graph = community_graph(
+        [52, 56, 50, 54], k=k, seed=12, periphery_pairs=2, bridge_width=2
+    )
+    print(f"input: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"k={k}\n")
+
+    start = time.perf_counter()
+    sequential = ripple(graph, k)
+    base = time.perf_counter() - start
+    print(f"sequential RIPPLE: {base:.3f}s — {sequential.summary()}\n")
+
+    for workers in (1, 2, 4):
+        config = ParallelConfig(workers=workers, backend="process")
+        start = time.perf_counter()
+        result = parallel_ripple(graph, k, config)
+        elapsed = time.perf_counter() - start
+        agrees = set(result.components) == set(sequential.components)
+        print(f"process pool x{workers}: {elapsed:.3f}s "
+              f"(speedup vs x1 baseline computed below) "
+              f"components agree: {agrees}")
+
+    print("\nNote: worker processes pay a startup + graph-shipping cost, "
+          "so speedups only emerge once the graph is large enough that "
+          "per-task compute dominates — the same contention-vs-work "
+          "trade-off the paper reports for its 16-thread runs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Fault-tolerant backbone extraction for an infrastructure network.
+
+The paper motivates k-VCCs with transportation/network robustness: a
+k-VCC guarantees k vertex-disjoint paths between every pair of members,
+so the subnetwork survives any k-1 simultaneous node failures.
+
+This example models a backbone network of regional meshes connected by
+thin long-haul links, extracts the k-VCC backbones, and then *proves*
+the guarantee empirically by knocking out adversarial vertex sets.
+
+Run:  python examples/robust_infrastructure.py
+"""
+
+import itertools
+
+from repro import Graph, ripple
+from repro.graph import community_graph, is_connected
+
+
+def worst_case_failures(graph: Graph, members: frozenset, k: int) -> bool:
+    """Check survival of every (k-1)-subset removal inside a component.
+
+    Exhaustive over the component's vertices — fine at demo scale and
+    exactly the property the k-VCC definition promises.
+    """
+    vertices = sorted(members, key=repr)
+    sub = graph.subgraph(members)
+    for failed in itertools.combinations(vertices, k - 1):
+        survivors = members - set(failed)
+        if len(survivors) <= 1:
+            continue
+        if not is_connected(sub.subgraph(survivors)):
+            return False
+    return True
+
+
+def main() -> None:
+    k = 3
+    # Three regional meshes (each a triangle-rich ring, 3-connected),
+    # chained by single long-haul links that are NOT fault tolerant.
+    graph = community_graph([14, 16, 14], k=k, seed=7, bridge_width=1)
+    print(f"backbone network: {graph.num_vertices} routers, "
+          f"{graph.num_edges} links\n")
+
+    result = ripple(graph, k)
+    print(f"{result.num_components} fault-tolerant zones "
+          f"(each survives any {k - 1} router failures):")
+    for index, zone in enumerate(result.components, start=1):
+        survives = worst_case_failures(graph, zone, k)
+        print(f"  zone {index}: {len(zone)} routers — verified against "
+              f"all {k - 1}-failure combinations: {survives}")
+
+    outside = graph.vertex_set() - result.covered_vertices()
+    print(f"\nrouters outside every zone: {sorted(outside) or 'none'}")
+    print("the long-haul links between zones are single points of "
+          "failure — exactly what the enumeration exposes.")
+
+    # Constructive guarantee: materialise the k disjoint routes between
+    # two routers of the largest zone (what a router would actually
+    # install as primary + backup paths).
+    from repro.flow import vertex_disjoint_paths
+
+    zone = max(result.components, key=len)
+    members = sorted(zone)
+    a, b = members[0], members[len(members) // 2]
+    routes = vertex_disjoint_paths(graph, a, b, limit=k)
+    print(f"\n{k} vertex-disjoint routes between router {a} and {b}:")
+    for route in routes:
+        print("  " + " -> ".join(map(str, route)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Community detection in a collaboration network.
+
+The intro scenario of the paper: find cohesive author communities in a
+collaboration graph where papers form cliques of their co-authors. The
+k-VCC notion asks for groups that stay connected even if any k-1
+members leave — a much stronger cohesion guarantee than k-core.
+
+This example:
+
+1. generates a collaboration-style graph (chained author cliques plus
+   cross-group noise),
+2. contrasts the k-core (weak: degree-based) with the k-VCCs (strong:
+   connectivity-based) at the same k,
+3. scores RIPPLE and the older VCCE-BU heuristic against the exact
+   enumeration with the paper's F_same / J_Index metrics.
+
+Run:  python examples/social_communities.py
+"""
+
+from repro import accuracy_report, ripple, vcce_bu, vcce_td
+from repro.graph import community_graph, k_core
+
+
+def main() -> None:
+    # Four research groups. Each group is triangle-rich and 4-vertex
+    # connected; a couple of "junior collaborator" pairs hang off each
+    # group with only 3 in-group links each (plus their mutual link);
+    # groups are tied together by two prolific cross-group authors.
+    k = 4
+    graph = community_graph(
+        [44, 48, 42, 46], k=k, seed=42,
+        periphery_pairs=2, bridge_style="two_star",
+    )
+    print(f"collaboration graph: {graph.num_vertices} authors, "
+          f"{graph.num_edges} co-authorships; looking for {k}-VCCs\n")
+
+    # --- k-core vs k-VCC -------------------------------------------------
+    core = k_core(graph, k)
+    exact = vcce_td(graph, k)
+    print(f"{k}-core keeps {core.num_vertices} authors in one blob;")
+    print(f"{k}-VCC enumeration splits them into "
+          f"{exact.num_components} robust communities:")
+    for component in exact.components:
+        print(f"  community of {len(component)}: "
+              f"{sorted(component)[:8]}{' …' if len(component) > 8 else ''}")
+    print()
+
+    # --- heuristics vs exact ---------------------------------------------
+    for label, algorithm in (("RIPPLE", ripple), ("VCCE-BU", vcce_bu)):
+        result = algorithm(graph, k)
+        scores = accuracy_report(result.components, exact.components)
+        print(f"{label:8s}: {result.num_components} communities, "
+              f"F_same={scores['F_same']:.1f}%  "
+              f"J_Index={scores['J_Index']:.1f}%")
+
+    print("\nNote: the baseline loses twice — its unitary expansion "
+          "misses the junior-collaborator pairs, and its neighbour-"
+          "counting merge rule fuses groups that merely share two "
+          "prolific authors. RIPPLE fixes both.")
+
+
+if __name__ == "__main__":
+    main()

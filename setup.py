@@ -1,0 +1,10 @@
+"""Shim for editable installs on environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (legacy ``setup.py develop``) on
+offline machines where PEP 517 editable builds cannot run.
+"""
+
+from setuptools import setup
+
+setup()

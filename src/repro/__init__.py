@@ -1,0 +1,85 @@
+"""RIPPLE: bottom-up k-vertex connected component enumeration.
+
+A from-scratch reproduction of "Bottom-up k-Vertex Connected Component
+Enumeration by Multiple Expansion" (Liu, Wang, Xu, Li — ICDE 2024):
+the RIPPLE pipeline (QkVCS seeding + Flow-Based Merging + Ring-based
+Multiple Expansion), the exact Multiple Expansion it approximates, the
+VCCE-TD and VCCE-BU baselines it is evaluated against, and every graph
+and max-flow substrate they rest on.
+
+Quickstart::
+
+    from repro import Graph, ripple
+
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3),
+                              (2, 3)])
+    result = ripple(graph, k=3)
+    print(result.summary())
+
+See :mod:`repro.core` for the algorithms, :mod:`repro.graph` and
+:mod:`repro.flow` for the substrates, :mod:`repro.datasets` for the
+benchmark graphs, and :mod:`repro.bench` for the experiment harness.
+"""
+
+from repro.core import (
+    ComponentReport,
+    PhaseTimer,
+    VCCResult,
+    bottom_up_pipeline,
+    kvcc_containing,
+    kvcc_hierarchy,
+    max_kvcc_level,
+    membership_levels,
+    ripple,
+    ripple_me,
+    vcce_bu,
+    vcce_hybrid,
+    vcce_td,
+    verify_component,
+    verify_result,
+)
+from repro.errors import GraphError, ParameterError, ParseError, ReproError
+from repro.flow import (
+    global_vertex_connectivity,
+    is_k_vertex_connected,
+    local_connectivity,
+)
+from repro.graph import Graph, read_edge_list, write_edge_list
+from repro.metrics import accuracy_report, f_same, j_index
+from repro.parallel import ParallelConfig, parallel_ripple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComponentReport",
+    "Graph",
+    "GraphError",
+    "ParallelConfig",
+    "ParameterError",
+    "ParseError",
+    "PhaseTimer",
+    "ReproError",
+    "VCCResult",
+    "accuracy_report",
+    "bottom_up_pipeline",
+    "f_same",
+    "global_vertex_connectivity",
+    "is_k_vertex_connected",
+    "j_index",
+    "kvcc_containing",
+    "kvcc_hierarchy",
+    "local_connectivity",
+    "max_kvcc_level",
+    "membership_levels",
+    "parallel_ripple",
+    "read_edge_list",
+    "ripple",
+    "ripple_me",
+    "vcce_bu",
+    "vcce_hybrid",
+    "vcce_td",
+    "verify_component",
+    "verify_result",
+    "write_edge_list",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""ASCII charts for the figure benchmarks.
+
+The paper's Figures 7–10 are log-scale line plots; the bench harness
+recreates them as monospaced bar charts appended to the results files,
+so a terminal diff shows the shape at a glance without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BAR = "█"
+_WIDTH = 40
+
+
+def _scaled(value: float, maximum: float, log: bool) -> int:
+    if value <= 0 or maximum <= 0:
+        return 0
+    if log:
+        # map [min_positive, max] onto [1, WIDTH] logarithmically; one
+        # decade of headroom keeps tiny values visible
+        span = math.log10(maximum) + 1
+        magnitude = math.log10(value) + 1
+        return max(1, round(_WIDTH * max(magnitude, 0.05) / span))
+    return max(1, round(_WIDTH * value / maximum))
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """One horizontal bar per (label, value), scaled to the maximum."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    lines = [title, "-" * len(title)]
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    maximum = max(values)
+    width = max((len(str(label)) for label in labels), default=1)
+    for label, value in zip(labels, values):
+        bar = _BAR * _scaled(value, maximum, log)
+        lines.append(f"{str(label):>{width}} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """Figure-style chart: per x, one bar per series (Fig. 7 layout)."""
+    lines = [title, "-" * len(title)]
+    flat = [v for values in series.values() for v in values]
+    if not flat:
+        return "\n".join(lines + ["(no data)"])
+    maximum = max(flat)
+    name_width = max(len(name) for name in series)
+    for i, x in enumerate(xs):
+        lines.append(f"x={x}")
+        for name, values in series.items():
+            bar = _BAR * _scaled(values[i], maximum, log)
+            lines.append(
+                f"  {name:>{name_width}} |{bar} {values[i]:g}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Peak-memory measurement for the Figure 8 experiment.
+
+The paper reports resident memory of the C++ processes. The Python
+equivalent that isolates *algorithm* allocations from interpreter noise
+is ``tracemalloc``: we snapshot the traced peak across a callable. This
+under-reports constant interpreter overhead on purpose — the quantity
+of interest is how allocation scales with the algorithm's working set
+(TD's stack of partitioned subgraphs vs the bottom-up seed pools).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["measure_peak_memory"]
+
+
+def measure_peak_memory(action: Callable[[], T]) -> tuple[T, int]:
+    """Run ``action`` and return ``(result, peak_bytes_allocated)``.
+
+    Nested use is not supported (tracemalloc is process-global); the
+    bench harness runs measurements sequentially.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = action()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, peak

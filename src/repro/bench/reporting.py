@@ -1,0 +1,63 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Each experiment prints the same rows/columns as the paper's table or
+the same series as its figure, so a run of ``pytest benchmarks/``
+regenerates the full evaluation section in text form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting (floats to 2 dp, None to '-')."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Render an aligned monospaced table with a title rule."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+) -> str:
+    """Render figure data as one row per x with one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(xs)
+    ]
+    return render_table(title, headers, rows)

@@ -1,0 +1,254 @@
+"""Command-line interface: ``ripple`` (or ``python -m repro``).
+
+Four subcommands:
+
+* ``enumerate`` — run any of the algorithms on an edge-list file and
+  print (or save as JSON) the k-VCCs;
+* ``verify`` — exactly audit a saved result against its graph
+  (connectivity and maximality of every component);
+* ``datasets`` — list the registered benchmark datasets;
+* ``bench`` — regenerate one of the paper's tables/figures as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench import experiments, reporting
+from repro.core.ripple import ripple, ripple_me
+from repro.core.vcce_bu import vcce_bu
+from repro.core.vcce_td import vcce_td
+from repro.datasets.registry import DATASETS
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "ripple": ripple,
+    "ripple-me": ripple_me,
+    "vcce-td": vcce_td,
+    "vcce-bu": vcce_bu,
+}
+
+_BENCHES = {
+    "table2": lambda: reporting.render_table(
+        "Table II: dataset statistics",
+        ["dataset", "mirrors", "|V|", "|E|", "avg deg", "k_max"],
+        experiments.table2_rows(),
+    ),
+    "table3": lambda: reporting.render_table(
+        "Table III: accuracy (RIPPLE vs VCCE-BU)",
+        ["dataset", "k", "F_same RP", "F_same BU", "J_Index RP", "J_Index BU"],
+        experiments.table3_rows(),
+    ),
+    "table4": lambda: reporting.render_table(
+        "Table IV: RIPPLE vs RIPPLE-ME",
+        ["dataset", "k", "RP time", "RP F", "RP J", "ME time", "ME F", "ME J"],
+        experiments.table4_rows(),
+    ),
+    "table5": lambda: reporting.render_table(
+        "Table V: ablation study",
+        ["dataset", "k", "variant", "time", "F_same", "J_Index"],
+        experiments.table5_rows(),
+    ),
+    "table6": lambda: reporting.render_table(
+        "Table VI: QkVCS seeding efficiency",
+        ["dataset", "k", "kBFS %", "BK-MCQ %", "total %", "speedup"],
+        experiments.table6_rows(),
+    ),
+    "fig7": lambda: reporting.render_series(
+        "Figure 7: runtime vs k on ca-mathscinet (seconds)",
+        "k",
+        *experiments.fig7_series("ca-mathscinet"),
+    ),
+    "fig8": lambda: reporting.render_table(
+        "Figure 8: peak traced memory (KiB)",
+        ["dataset", "k", "VCCE-TD", "VCCE-BU", "RIPPLE"],
+        experiments.fig8_rows(),
+    ),
+    "fig9": lambda: reporting.render_table(
+        "Figure 9: RIPPLE phase time shares (%)",
+        ["dataset", "k", "seeding", "merging", "expansion", "other"],
+        experiments.fig9_rows(),
+    ),
+    "fig10": lambda: reporting.render_table(
+        "Figure 10: parallel RIPPLE (process pool, ca-dblp)",
+        ["dataset", "k", "backend", "workers", "time s", "speedup"],
+        experiments.fig10_rows("ca-dblp", worker_counts=(1, 2, 4)),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="ripple",
+        description="k-vertex connected component enumeration (RIPPLE)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enum = sub.add_parser(
+        "enumerate", help="enumerate k-VCCs of an edge-list file"
+    )
+    enum.add_argument("path", help="edge-list file (u v per line)")
+    enum.add_argument("-k", type=int, required=True, help="connectivity")
+    enum.add_argument(
+        "--algorithm",
+        choices=sorted(_ALGORITHMS),
+        default="ripple",
+        help="which enumerator to run (default: ripple)",
+    )
+    enum.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line, not the components",
+    )
+    enum.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also save the result as a JSON document",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="audit a saved enumeration result (connectivity + maximality)",
+    )
+    verify.add_argument("graph", help="the edge-list file the result is for")
+    verify.add_argument("result", help="a JSON result from enumerate --json")
+
+    sub.add_parser("datasets", help="list the benchmark datasets")
+
+    bench = sub.add_parser(
+        "bench", help="regenerate one of the paper's tables"
+    )
+    bench.add_argument("experiment", choices=sorted(_BENCHES))
+
+    gen = sub.add_parser(
+        "generate",
+        help="write a benchmark dataset or planted graph as an edge list",
+    )
+    gen.add_argument(
+        "source",
+        help="a dataset name (see `ripple datasets`) or 'planted'",
+    )
+    gen.add_argument("-o", "--output", required=True, help="output file")
+    gen.add_argument(
+        "--communities", type=int, default=3,
+        help="planted: number of communities (default 3)",
+    )
+    gen.add_argument(
+        "--size", type=int, default=30,
+        help="planted: vertices per community (default 30)",
+    )
+    gen.add_argument(
+        "-k", type=int, default=4,
+        help="planted: connectivity of each community (default 4)",
+    )
+    gen.add_argument(
+        "--seed", type=int, default=0, help="planted: RNG seed (default 0)"
+    )
+    return parser
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.path, allow_self_loops=True)
+    algorithm = _ALGORITHMS[args.algorithm]
+    result = algorithm(graph, args.k)
+    print(result.summary())
+    if not args.quiet:
+        for index, component in enumerate(result.components, start=1):
+            members = " ".join(sorted(map(str, component)))
+            print(f"component {index} ({len(component)} vertices): {members}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"result saved to {args.json}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.result import VCCResult
+    from repro.core.verify import verify_result
+
+    graph = read_edge_list(args.graph, allow_self_loops=True)
+    with open(args.result, encoding="utf-8") as handle:
+        result = VCCResult.from_json(handle.read())
+    reports = verify_result(graph, result)
+    failures = 0
+    for report in reports:
+        print(report.describe())
+        if not report.is_valid_kvcc:
+            failures += 1
+    verdict = "all components verified" if not failures else (
+        f"{failures} of {len(reports)} components failed verification"
+    )
+    print(verdict)
+    return 0 if not failures else 1
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        [d.name, d.mirrors, ",".join(map(str, d.ks)), d.why]
+        for d in DATASETS.values()
+    ]
+    print(
+        reporting.render_table(
+            "Benchmark datasets",
+            ["name", "mirrors", "k values", "property preserved"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    print(_BENCHES[args.experiment]())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import get_dataset
+    from repro.graph.generators import planted_kvcc_graph
+    from repro.graph.io import write_edge_list
+
+    if args.source == "planted":
+        graph = planted_kvcc_graph(
+            args.communities, args.size, args.k, seed=args.seed
+        )
+    else:
+        graph = get_dataset(args.source).graph()
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "enumerate":
+            return _cmd_enumerate(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "generate":
+            return _cmd_generate(args)
+        return _cmd_bench(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

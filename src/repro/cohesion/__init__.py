@@ -1,0 +1,24 @@
+"""Related cohesive-subgraph models the paper positions k-VCCs against.
+
+The introduction's cohesion ladder: k-core (degree) < k-truss
+(triangles) < k-ECC (edge connectivity) < k-VCC (vertex connectivity).
+k-core lives in :mod:`repro.graph.kcore`; this package adds the other
+two comparators.
+"""
+
+from repro.cohesion.kecc import (
+    find_edge_cut,
+    global_edge_connectivity,
+    k_edge_components,
+    local_edge_connectivity,
+)
+from repro.cohesion.ktruss import k_truss, truss_numbers
+
+__all__ = [
+    "find_edge_cut",
+    "global_edge_connectivity",
+    "k_edge_components",
+    "k_truss",
+    "local_edge_connectivity",
+    "truss_numbers",
+]

@@ -1,0 +1,72 @@
+"""Core k-VCC enumeration algorithms: the paper's contribution + baselines."""
+
+from repro.core.hybrid import vcce_hybrid
+from repro.core.hierarchy import (
+    kvcc_hierarchy,
+    max_kvcc_level,
+    membership_levels,
+)
+from repro.core.expansion import (
+    multiple_expansion,
+    ring_expansion,
+    unitary_expansion,
+)
+from repro.core.merging import (
+    flow_based_merge_condition,
+    merge_components,
+    neighbor_based_merge_condition,
+)
+from repro.core.pipeline import bottom_up_pipeline
+from repro.core.query import kvcc_containing
+from repro.core.result import PhaseTimer, VCCResult
+from repro.core.ripple import (
+    ripple,
+    ripple_me,
+    ripple_no_fbm,
+    ripple_no_qkvcs,
+    ripple_no_rme,
+)
+from repro.core.seeding import (
+    DEFAULT_ALPHA,
+    clique_seeds,
+    kbfs_seeds,
+    lkvcs,
+    lkvcs_seeds,
+    qkvcs,
+)
+from repro.core.vcce_bu import vcce_bu
+from repro.core.vcce_td import vcce_td
+from repro.core.verify import ComponentReport, verify_component, verify_result
+
+__all__ = [
+    "ComponentReport",
+    "DEFAULT_ALPHA",
+    "PhaseTimer",
+    "VCCResult",
+    "bottom_up_pipeline",
+    "clique_seeds",
+    "flow_based_merge_condition",
+    "kbfs_seeds",
+    "kvcc_containing",
+    "kvcc_hierarchy",
+    "lkvcs",
+    "lkvcs_seeds",
+    "max_kvcc_level",
+    "membership_levels",
+    "merge_components",
+    "multiple_expansion",
+    "neighbor_based_merge_condition",
+    "qkvcs",
+    "ring_expansion",
+    "ripple",
+    "ripple_me",
+    "ripple_no_fbm",
+    "ripple_no_qkvcs",
+    "ripple_no_rme",
+    "unitary_expansion",
+    "vcce_bu",
+    "vcce_hybrid",
+    "vcce_td",
+    "verify_component",
+    "verify_result",
+]

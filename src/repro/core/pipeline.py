@@ -1,0 +1,180 @@
+"""The configurable bottom-up enumeration pipeline (seed → merge → expand).
+
+Algorithm 5 of the paper, parameterised over its three ingredients so
+that every published configuration — and every ablation of Table V —
+is one call:
+
+=================  ==========  ===========  =========
+configuration      seeding     expansion    merging
+=================  ==========  ===========  =========
+RIPPLE             QkVCS       RME          FBM
+RIPPLE-ME          QkVCS       ME (h-hop)   FBM
+VCCE-BU            LkVCS       UE           NBM
+RIPPLE-noQkVCS     LkVCS       RME          FBM
+RIPPLE-noFBM       QkVCS       RME          NBM
+RIPPLE-noRME       QkVCS       UE           FBM
+=================  ==========  ===========  =========
+
+:mod:`repro.core.ripple` and :mod:`repro.core.vcce_bu` export the named
+entry points built on this driver.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core import expansion as expansion_mod
+from repro.core import merging as merging_mod
+from repro.core import seeding as seeding_mod
+from repro.core.result import PhaseTimer, VCCResult
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.kcore import k_core
+
+__all__ = [
+    "bottom_up_pipeline",
+    "SEEDERS",
+    "EXPANDERS",
+    "MERGERS",
+]
+
+Seeder = Callable[..., list[set]]
+Expander = Callable[..., set]
+Merger = Callable[..., bool]
+
+
+def _seed_qkvcs(graph: Graph, k: int, alpha: int, timer: PhaseTimer):
+    return seeding_mod.qkvcs(graph, k, alpha=alpha, timer=timer)
+
+
+def _seed_lkvcs(graph: Graph, k: int, alpha: int, timer: PhaseTimer):
+    return seeding_mod.lkvcs_seeds(graph, k, alpha=alpha, timer=timer)
+
+
+def _expand_ue(graph: Graph, k: int, seed: set, hops, timer: PhaseTimer):
+    return expansion_mod.unitary_expansion(graph, k, seed, timer=timer)
+
+
+def _expand_rme(graph: Graph, k: int, seed: set, hops, timer: PhaseTimer):
+    return expansion_mod.ring_expansion(graph, k, seed, timer=timer)
+
+
+def _expand_me(graph: Graph, k: int, seed: set, hops, timer: PhaseTimer):
+    return expansion_mod.multiple_expansion(
+        graph, k, seed, hops=hops, timer=timer
+    )
+
+
+SEEDERS: dict[str, Seeder] = {
+    "qkvcs": _seed_qkvcs,
+    "lkvcs": _seed_lkvcs,
+}
+
+EXPANDERS: dict[str, Expander] = {
+    "ue": _expand_ue,
+    "rme": _expand_rme,
+    "me": _expand_me,
+}
+
+MERGERS: dict[str, Merger] = {
+    "fbm": merging_mod.flow_based_merge_condition,
+    "nbm": merging_mod.neighbor_based_merge_condition,
+}
+
+
+def bottom_up_pipeline(
+    graph: Graph,
+    k: int,
+    seeding: str = "qkvcs",
+    expansion: str = "rme",
+    merging: str = "fbm",
+    alpha: int = seeding_mod.DEFAULT_ALPHA,
+    me_hops: int | None = 1,
+    algorithm_name: str | None = None,
+    order: str = "merge_first",
+) -> VCCResult:
+    """Run the seed → (merge ↔ expand)* pipeline and return its result.
+
+    Parameters mirror Algorithm 5: the graph is pruned to its k-core,
+    seeded, and then merging and expansion alternate to a fixed point.
+    ``order`` selects which runs first inside each round —
+    ``"merge_first"`` (the paper's choice: merging seeds early avoids
+    redundant expansion work) or ``"expand_first"`` (the ablation of
+    DESIGN.md §5). ``me_hops`` only applies when ``expansion="me"``.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be >= 2, got {k}")
+    if order not in ("merge_first", "expand_first"):
+        raise ParameterError(
+            f"order must be 'merge_first' or 'expand_first', got {order!r}"
+        )
+    for value, table, what in (
+        (seeding, SEEDERS, "seeding"),
+        (expansion, EXPANDERS, "expansion"),
+        (merging, MERGERS, "merging"),
+    ):
+        if value not in table:
+            raise ParameterError(
+                f"unknown {what} strategy {value!r}; "
+                f"choose from {sorted(table)}"
+            )
+    name = algorithm_name or (
+        f"pipeline({seeding}+{merging}+{expansion})"
+    )
+    timer = PhaseTimer()
+
+    with timer.phase("kcore"):
+        core = k_core(graph, k)
+    if core.num_vertices <= k:
+        return VCCResult([], k=k, algorithm=name, timer=timer)
+
+    with timer.phase("seeding"):
+        seeds = SEEDERS[seeding](core, k, alpha, timer)
+    if not seeds:
+        return VCCResult([], k=k, algorithm=name, timer=timer)
+
+    expand = EXPANDERS[expansion]
+    merge_condition = MERGERS[merging]
+    components = [set(seed) for seed in seeds]
+
+    def merge_step(pool: list[set]) -> list[set]:
+        with timer.phase("merging"):
+            return merging_mod.merge_components(
+                core, k, pool, merge_condition, timer=timer
+            )
+
+    def expand_step(pool: list[set]) -> list[set]:
+        with timer.phase("expansion"):
+            return [expand(core, k, comp, me_hops, timer) for comp in pool]
+
+    first, second = (
+        (merge_step, expand_step)
+        if order == "merge_first"
+        else (expand_step, merge_step)
+    )
+    while True:
+        before = {frozenset(c) for c in components}
+        components = second(first(components))
+        after = {frozenset(c) for c in components}
+        timer.count("rounds")
+        if after == before:
+            break
+
+    with timer.phase("finalize"):
+        final = _finalize(components, k)
+    return VCCResult(final, k=k, algorithm=name, timer=timer)
+
+
+def _finalize(components: list[set], k: int) -> list[frozenset]:
+    """Deduplicate, drop nested results and undersized leftovers."""
+    ordered = sorted(
+        {frozenset(c) for c in components}, key=len, reverse=True
+    )
+    kept: list[frozenset] = []
+    for comp in ordered:
+        if len(comp) <= k:
+            continue
+        if any(comp < other for other in kept):
+            continue
+        kept.append(comp)
+    return kept

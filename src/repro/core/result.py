@@ -1,0 +1,182 @@
+"""Result and instrumentation types shared by every enumeration algorithm.
+
+Each algorithm returns a :class:`VCCResult` carrying the enumerated
+components plus the per-phase wall-clock timings and operation counters
+the paper's Figure 9 / Table VI analyses need. Results round-trip
+through JSON for the CLI and for archiving benchmark output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+
+__all__ = ["PhaseTimer", "VCCResult"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time and counters per named phase.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("seeding"):
+    ...     pass
+    >>> timer.seconds("seeding") >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counters: dict[str, int] = {}
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Context manager adding the block's duration to ``name``."""
+        return _PhaseContext(self, name)
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate raw seconds into a phase (for external timers)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump an operation counter (flow calls, clique tests, …)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for a phase (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """A copy of the phase → seconds mapping."""
+        return dict(self._seconds)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """A copy of the counter → value mapping."""
+        return dict(self._counters)
+
+    def total_seconds(self) -> float:
+        """Sum over all recorded phases."""
+        return sum(self._seconds.values())
+
+    def proportions(self) -> dict[str, float]:
+        """Phase shares of total time (empty if nothing recorded)."""
+        total = self.total_seconds()
+        if total == 0:
+            return {}
+        return {name: s / total for name, s in self._seconds.items()}
+
+
+class _PhaseContext:
+    """Context manager produced by :meth:`PhaseTimer.phase`."""
+
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.add_seconds(
+            self._name, time.perf_counter() - self._start
+        )
+
+
+@dataclass
+class VCCResult:
+    """Output of a k-VCC enumeration run.
+
+    Attributes
+    ----------
+    components:
+        The enumerated components as frozensets of vertices, sorted by
+        size descending then lexicographically for deterministic output.
+    k:
+        The connectivity threshold the run used.
+    algorithm:
+        Human-readable name of the configuration that produced this.
+    timer:
+        Phase timings and counters collected during the run.
+    """
+
+    components: list[frozenset]
+    k: int
+    algorithm: str
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+
+    def __post_init__(self) -> None:
+        self.components = sorted(
+            (frozenset(c) for c in self.components),
+            key=lambda c: (-len(c), sorted(map(repr, c))),
+        )
+
+    @property
+    def num_components(self) -> int:
+        """How many components were enumerated."""
+        return len(self.components)
+
+    def covered_vertices(self) -> set:
+        """Union of all component vertex sets."""
+        covered: set = set()
+        for comp in self.components:
+            covered |= comp
+        return covered
+
+    def component_containing(self, vertex) -> frozenset | None:
+        """The first (largest) component containing ``vertex``, if any."""
+        for comp in self.components:
+            if vertex in comp:
+                return comp
+        return None
+
+    def to_json(self) -> str:
+        """Serialise to a JSON document (components, k, algorithm,
+        phase timings, counters). Vertex labels must be JSON-safe
+        (int/str — everything this library produces)."""
+        payload = {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "components": [sorted(c, key=repr) for c in self.components],
+            "phases": self.timer.phases,
+            "counters": self.timer.counters,
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, document: str) -> "VCCResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        try:
+            payload = json.loads(document)
+            timer = PhaseTimer()
+            for name, seconds in payload.get("phases", {}).items():
+                timer.add_seconds(name, seconds)
+            for name, value in payload.get("counters", {}).items():
+                timer.count(name, value)
+            return cls(
+                components=[frozenset(c) for c in payload["components"]],
+                k=payload["k"],
+                algorithm=payload["algorithm"],
+                timer=timer,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ParseError(f"not a valid VCCResult document: {exc}") from exc
+
+    def summary(self) -> str:
+        """One-line human-readable description of the result."""
+        sizes = ", ".join(str(len(c)) for c in self.components[:8])
+        if len(self.components) > 8:
+            sizes += ", …"
+        return (
+            f"{self.algorithm}: {self.num_components} {self.k}-VCC(s) "
+            f"covering {len(self.covered_vertices())} vertices "
+            f"(sizes: {sizes or 'none'})"
+        )

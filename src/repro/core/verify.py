@@ -1,0 +1,100 @@
+"""Verification of enumeration results: connectivity and maximality.
+
+A claimed k-VCC must satisfy two properties (Definition 2):
+
+1. **k-vertex connectivity** of the induced subgraph — checked exactly
+   with the flow-based predicate;
+2. **maximality** — no proper superset is a k-VCS. Theorem 2 makes
+   this checkable: unrestricted Multiple Expansion from a k-VCS yields
+   the unique maximal k-connected superset, so a set is maximal iff ME
+   cannot grow it.
+
+These checks are exact but expensive (many max-flow calls); they exist
+for auditing heuristic output, tests, and the CLI ``verify`` command —
+not for the enumeration hot path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.core.expansion import multiple_expansion
+from repro.core.result import VCCResult
+from repro.errors import ParameterError
+from repro.flow.connectivity import is_k_vertex_connected
+from repro.graph.adjacency import Graph
+
+__all__ = ["ComponentReport", "verify_component", "verify_result"]
+
+
+@dataclass(frozen=True)
+class ComponentReport:
+    """Audit outcome for one claimed k-VCC."""
+
+    members: frozenset
+    k: int
+    is_k_connected: bool
+    is_maximal: bool
+    missed_vertices: frozenset
+
+    @property
+    def is_valid_kvcc(self) -> bool:
+        """True iff the component is a genuine k-VCC of the graph."""
+        return self.is_k_connected and self.is_maximal
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        if self.is_valid_kvcc:
+            return (
+                f"OK: {len(self.members)} vertices form a maximal "
+                f"{self.k}-VCC"
+            )
+        problems = []
+        if not self.is_k_connected:
+            problems.append(f"not {self.k}-vertex connected")
+        if not self.is_maximal:
+            problems.append(
+                f"not maximal (misses {len(self.missed_vertices)} "
+                f"absorbable vertices)"
+            )
+        return f"FAIL: {len(self.members)} vertices — " + "; ".join(problems)
+
+
+def verify_component(
+    graph: Graph, members: Iterable[Hashable], k: int
+) -> ComponentReport:
+    """Exactly audit one claimed k-VCC of ``graph``.
+
+    Maximality is only meaningful for k-connected sets; for sets that
+    fail connectivity it is reported as False with no missed vertices.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be >= 2, got {k}")
+    member_set = frozenset(members)
+    connected = is_k_vertex_connected(graph.subgraph(member_set), k)
+    if not connected:
+        return ComponentReport(
+            members=member_set,
+            k=k,
+            is_k_connected=False,
+            is_maximal=False,
+            missed_vertices=frozenset(),
+        )
+    grown = multiple_expansion(graph, k, member_set, hops=None)
+    missed = frozenset(grown - member_set)
+    return ComponentReport(
+        members=member_set,
+        k=k,
+        is_k_connected=True,
+        is_maximal=not missed,
+        missed_vertices=missed,
+    )
+
+
+def verify_result(graph: Graph, result: VCCResult) -> list[ComponentReport]:
+    """Audit every component of an enumeration result."""
+    return [
+        verify_component(graph, component, result.k)
+        for component in result.components
+    ]

@@ -1,0 +1,10 @@
+"""Benchmark dataset registry (synthetic stand-ins for Table II)."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    Dataset,
+    dataset_names,
+    get_dataset,
+)
+
+__all__ = ["DATASETS", "Dataset", "dataset_names", "get_dataset"]

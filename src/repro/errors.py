@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GraphError", "ParameterError", "ParseError", "ReproError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, querying a vertex that does not exist,
+    or inducing a subgraph on vertices outside the graph.
+    """
+
+
+class ParseError(ReproError):
+    """Raised when an on-disk graph representation cannot be parsed."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when an algorithm receives an invalid parameter.
+
+    Inherits from :class:`ValueError` so generic callers that guard with
+    ``except ValueError`` keep working.
+    """

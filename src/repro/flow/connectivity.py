@@ -1,0 +1,297 @@
+"""Vertex-connectivity queries built on the split-network flow engine.
+
+Implements the Even–Tarjan strategy the top-down baseline needs:
+
+* :func:`local_connectivity` — κ(u, v, G), the size of a minimum vertex
+  cut separating u from v (∞ for adjacent pairs, Definition 4).
+* :func:`find_vertex_cut` — a vertex cut of size < k if one exists
+  (the partitioning step of VCCE-TD).
+* :func:`is_k_vertex_connected` — the verification predicate used to
+  certify seeds and final components.
+* :func:`global_vertex_connectivity` — κ(G), mostly for tests and the
+  k_max statistic of Table II.
+
+The pivot trick: fix any vertex ``u``. Every vertex cut either misses
+``u`` — then it separates ``u`` from some non-neighbour ``v`` and
+κ(u, v) finds it — or contains ``u`` — then it separates two neighbours
+of ``u``, and κ(v, w) over neighbour pairs finds it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Hashable
+
+from repro.errors import ParameterError
+from repro.flow.network import VertexSplitNetwork
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import is_connected
+
+__all__ = [
+    "local_connectivity",
+    "local_connectivity_at_least",
+    "find_vertex_cut",
+    "is_k_vertex_connected",
+    "is_k_vertex_connected_subset",
+    "is_side_vertex",
+    "global_vertex_connectivity",
+]
+
+
+def local_connectivity(graph: Graph, u: Hashable, v: Hashable) -> float:
+    """κ(u, v, G): minimum vertices to remove to disconnect u from v.
+
+    Returns ``math.inf`` for adjacent pairs (the paper's convention —
+    no vertex removal can separate an edge's endpoints).
+    """
+    if u == v:
+        raise ParameterError("local connectivity needs two distinct vertices")
+    if graph.has_edge(u, v):
+        return math.inf
+    network = VertexSplitNetwork(graph)
+    return network.max_flow(u, v)
+
+
+def local_connectivity_at_least(
+    graph: Graph, u: Hashable, v: Hashable, k: int
+) -> bool:
+    """Whether κ(u, v, G) ≥ k, with the flow cut off at k."""
+    if u == v:
+        raise ParameterError("local connectivity needs two distinct vertices")
+    if graph.has_edge(u, v):
+        return True
+    network = VertexSplitNetwork(graph)
+    return network.max_flow(u, v, cutoff=k) >= k
+
+
+def find_vertex_cut(
+    graph: Graph, k: int, certificate: bool = True
+) -> set | None:
+    """A vertex cut of size < k, or None if the graph has none.
+
+    The input must be connected (VCCE-TD splits into connected
+    components before calling this). Complete graphs have no vertex
+    cut at all and always return None.
+
+    With ``certificate`` (the default), dense inputs are first reduced
+    to their Cheriyan–Kao–Thurimella sparse certificate of at most
+    ``k(n-1)`` edges: the certificate has a cut of size < k iff the
+    graph does, and any such cut of the certificate is a valid cut of
+    the graph — so all flow work happens on the sparse subgraph (Wen
+    et al.'s optimisation).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    n = graph.num_vertices
+    if n <= 1:
+        return None
+    if not is_connected(graph):
+        raise ParameterError("find_vertex_cut requires a connected graph")
+    if graph.num_edges == n * (n - 1) // 2:
+        return None  # complete graph: no cut exists at any size
+    if certificate and graph.num_edges > k * (n - 1):
+        from repro.graph.forests import sparse_certificate
+
+        return find_vertex_cut(
+            sparse_certificate(graph, k), k, certificate=False
+        )
+
+    # Pivot on a minimum-degree vertex: if d(u) < k its neighbourhood is
+    # already a small cut (u has a non-neighbour since G is incomplete).
+    # A simplicial pivot (clique neighbourhood) of similarly small
+    # degree is even better: no minimal vertex cut can contain it (its
+    # cut membership would force an edge across the separation), so the
+    # quadratic neighbour-pair phase disappears entirely.
+    pivot = min(graph.vertices(), key=graph.degree)
+    min_degree = graph.degree(pivot)
+    if min_degree < k:
+        return set(graph.neighbors(pivot))
+    pivot_is_simplicial = _is_simplicial(graph, pivot)
+    if not pivot_is_simplicial:
+        for candidate in graph.vertices():
+            if graph.degree(candidate) <= min_degree + 2 and _is_simplicial(
+                graph, candidate
+            ):
+                pivot = candidate
+                pivot_is_simplicial = True
+                break
+
+    network = VertexSplitNetwork(graph)
+    pivot_nbrs = set(graph.neighbors(pivot))
+    cut_or_none = _certified_sweep(graph, network, pivot, k)
+    if cut_or_none is not None:
+        return cut_or_none
+    if pivot_is_simplicial:
+        return None  # no cut avoids the pivot, and none can contain it
+    # Any remaining small cut must contain the pivot and separate two of
+    # its neighbours.
+    neighbors = sorted(pivot_nbrs, key=graph.degree)
+    for v, w in itertools.combinations(neighbors, 2):
+        if graph.has_edge(v, w):
+            continue
+        if len(graph.neighbors(v) & graph.neighbors(w)) >= k:
+            continue
+        cut = network.vertex_cut_if_below(v, w, k)
+        if cut is not None:
+            return cut
+    return None
+
+
+def _is_simplicial(graph: Graph, vertex: Hashable) -> bool:
+    """Whether the vertex's neighbourhood induces a clique."""
+    nbrs = list(graph.neighbors(vertex))
+    for i, u in enumerate(nbrs):
+        u_nbrs = graph.neighbors(u)
+        for w in nbrs[i + 1:]:
+            if w not in u_nbrs:
+                return False
+    return True
+
+
+def _certified_sweep(
+    graph: Graph,
+    network: VertexSplitNetwork,
+    pivot: Hashable,
+    k: int,
+) -> set | None:
+    """Cut-from-pivot search with Wen et al.'s deposit sweep.
+
+    Maintains the set of vertices *certified* k-connected to the pivot.
+    Seeds: the pivot's neighbours (adjacent ⇒ κ = ∞). Deposit rule: a
+    vertex with ≥ k certified neighbours is itself certified without a
+    flow — any cut of size < k leaves one certified neighbour
+    untouched on the pivot's side, and the edge to it pins the vertex
+    there too. Certifications propagate breadth-first, so on dense
+    graphs most vertices never see a max-flow call.
+
+    Returns a vertex cut of size < k if one separates the pivot from
+    anything, else None.
+    """
+    certified = set(graph.neighbors(pivot)) | {pivot}
+    deposits = {
+        v: len(graph.neighbors(v) & certified)
+        for v in graph.vertices()
+        if v not in certified
+    }
+
+    def propagate(start: Hashable) -> None:
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for w in graph.neighbors(u):
+                if w in certified:
+                    continue
+                deposits[w] += 1
+                if deposits[w] >= k:
+                    certified.add(w)
+                    stack.append(w)
+
+    # Flush vertices already saturated by the initial neighbourhood.
+    for v in sorted(deposits, key=repr):
+        if v not in certified and deposits[v] >= k:
+            certified.add(v)
+            propagate(v)
+
+    for v in graph.vertices():
+        if v in certified:
+            continue
+        cut = network.vertex_cut_if_below(pivot, v, k)
+        if cut is not None:
+            return cut
+        certified.add(v)
+        propagate(v)
+    return None
+
+
+def is_k_vertex_connected(graph: Graph, k: int) -> bool:
+    """Whether the graph itself is k-vertex connected.
+
+    Requires more than k vertices (so that removing any k-1 leaves at
+    least two), connectivity, min degree ≥ k, and no vertex cut of size
+    below k.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if graph.num_vertices <= k:
+        return False
+    if graph.min_degree() < k:
+        return False
+    if not is_connected(graph):
+        return False
+    return find_vertex_cut(graph, k) is None
+
+
+def is_k_vertex_connected_subset(graph: Graph, members: set, k: int) -> bool:
+    """Whether the induced subgraph ``G[members]`` is k-vertex connected."""
+    return is_k_vertex_connected(graph.subgraph(members), k)
+
+
+def is_side_vertex(graph: Graph, vertex: Hashable, k: int) -> bool:
+    """Whether ``vertex`` is a *side-vertex*: in no vertex cut of size < k.
+
+    Side-vertices (Wen et al.) make local k-connectivity transitive
+    (the paper's Lemma 1), which is what the virtual-vertex proofs of
+    Theorems 1 and 3 lean on. The check: ``vertex`` belongs to some
+    cut of size < k iff there is a non-adjacent pair (a, b) avoiding it
+    with κ(a, b) < k whose connectivity drops when ``vertex`` is
+    removed (then ``vertex`` sits in one of their minimum cuts).
+
+    Cost: O(n²) threshold flows — a research/verification utility, not
+    an enumeration-path primitive.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if not graph.has_vertex(vertex):
+        raise ParameterError(f"vertex {vertex!r} not in graph")
+    others = [u for u in graph.vertices() if u != vertex]
+    removed = graph.subgraph(set(others))
+    full = VertexSplitNetwork(graph)
+    reduced = VertexSplitNetwork(removed)
+    for i, a in enumerate(others):
+        for b in others[i + 1:]:
+            if graph.has_edge(a, b):
+                continue
+            kappa = full.max_flow(a, b, cutoff=k)
+            if kappa >= k:
+                continue
+            if reduced.max_flow(a, b, cutoff=kappa) < kappa:
+                return False
+    return True
+
+
+def global_vertex_connectivity(graph: Graph) -> int:
+    """κ(G) for a graph with at least two vertices.
+
+    Complete graphs get κ = n - 1 (the standard convention). Used by
+    tests and by the k_max dataset statistic.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise ParameterError("connectivity needs at least two vertices")
+    if not is_connected(graph):
+        return 0
+    if graph.num_edges == n * (n - 1) // 2:
+        return n - 1
+    best = graph.min_degree()
+    network = VertexSplitNetwork(graph)
+    pivot = min(graph.vertices(), key=graph.degree)
+    pivot_nbrs = set(graph.neighbors(pivot))
+    pivot_closed = pivot_nbrs | {pivot}
+    for v in graph.vertices():
+        if v in pivot_closed:
+            continue
+        if len(pivot_nbrs & graph.neighbors(v)) >= best:
+            continue  # shared neighbours alone meet the current bound
+        best = min(best, int(network.max_flow(pivot, v, cutoff=best)))
+        if best == 0:
+            return 0
+    for v, w in itertools.combinations(pivot_nbrs, 2):
+        if graph.has_edge(v, w):
+            continue
+        if len(graph.neighbors(v) & graph.neighbors(w)) >= best:
+            continue
+        best = min(best, int(network.max_flow(v, w, cutoff=best)))
+        if best == 0:
+            return 0
+    return best

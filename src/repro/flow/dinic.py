@@ -1,0 +1,177 @@
+"""Dinic max-flow on array-based residual networks.
+
+This is the flow engine behind every connectivity question in the
+library: local connectivity κ(u, v), Multiple Expansion's
+``max_flow(u → σ)`` tests, and Flow-Based Merging's ``max_flow(σ → τ)``.
+
+The networks are small-integer-capacity (almost always unit) directed
+graphs produced by vertex splitting, so Dinic with adjacency arrays is
+the right tool: O(E · sqrt(V)) on unit networks. All k-VCC questions
+are threshold questions ("is the flow ≥ k?"), so :meth:`Dinic.max_flow`
+accepts a ``cutoff`` and stops as soon as the threshold is reached —
+a large practical win that DESIGN.md §5 ablates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ParameterError
+
+__all__ = ["Dinic"]
+
+_INF = float("inf")
+
+
+class Dinic:
+    """Array-based Dinic max-flow.
+
+    Vertices are integers ``0 … n-1``. Edges are stored in parallel
+    arrays; the reverse edge of edge ``i`` is ``i ^ 1``.
+    """
+
+    __slots__ = ("n", "head", "to", "cap", "next_edge", "_level", "_iter")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ParameterError(f"n must be non-negative, got {n}")
+        self.n = n
+        self.head = [-1] * n
+        self.to: list[int] = []
+        self.cap: list[float] = []
+        self.next_edge: list[int] = []
+        self._level = [0] * n
+        self._iter = [0] * n
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add directed edge ``u → v`` with the given capacity.
+
+        Returns the internal edge index (its residual twin is index+1).
+        """
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ParameterError(f"edge ({u}, {v}) out of range 0..{self.n - 1}")
+        if capacity < 0:
+            raise ParameterError(f"capacity must be non-negative, got {capacity}")
+        index = len(self.to)
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.next_edge.append(self.head[u])
+        self.head[u] = index
+        self.to.append(u)
+        self.cap.append(0)
+        self.next_edge.append(self.head[v])
+        self.head[v] = index + 1
+        return index
+
+    def _bfs(self, source: int, sink: int) -> bool:
+        """Build the level graph; True iff the sink is reachable."""
+        level = self._level
+        for i in range(self.n):
+            level[i] = -1
+        level[source] = 0
+        queue = deque((source,))
+        to, cap, nxt = self.to, self.cap, self.next_edge
+        while queue:
+            u = queue.popleft()
+            e = self.head[u]
+            while e != -1:
+                v = to[e]
+                if cap[e] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    if v == sink:
+                        return True
+                    queue.append(v)
+                e = nxt[e]
+        return level[sink] >= 0
+
+    def _dfs(self, u: int, sink: int, pushed: float) -> float:
+        """Send blocking flow along level-graph paths (iterative DFS).
+
+        ``path_edges`` holds the edge indices from ``u`` to the current
+        vertex. Within one phase an admissible edge that saturates never
+        regains capacity (reverse edges are never admissible), so the
+        per-vertex edge cursor ``self._iter`` may skip failed edges
+        permanently.
+        """
+        to, cap, nxt = self.to, self.cap, self.next_edge
+        level, iters = self._level, self._iter
+        path_edges: list[int] = []
+        total = 0.0
+        vertex = u
+        while True:
+            if vertex == sink:
+                bottleneck = pushed - total
+                for e in path_edges:
+                    if cap[e] < bottleneck:
+                        bottleneck = cap[e]
+                for e in path_edges:
+                    cap[e] -= bottleneck
+                    cap[e ^ 1] += bottleneck
+                total += bottleneck
+                if total >= pushed:
+                    return total
+                # Retreat to just before the first saturated edge.
+                cut = len(path_edges)
+                for i, e in enumerate(path_edges):
+                    if cap[e] == 0:
+                        cut = i
+                        break
+                del path_edges[cut:]
+                vertex = u if not path_edges else to[path_edges[-1]]
+                continue
+            e = iters[vertex]
+            while e != -1 and not (
+                cap[e] > 0 and level[to[e]] == level[vertex] + 1
+            ):
+                e = nxt[e]
+            iters[vertex] = e
+            if e != -1:
+                path_edges.append(e)
+                vertex = to[e]
+            else:
+                level[vertex] = -1  # dead end: prune for this phase
+                if not path_edges:
+                    return total
+                path_edges.pop()
+                vertex = u if not path_edges else to[path_edges[-1]]
+
+    def max_flow(
+        self, source: int, sink: int, cutoff: float = _INF
+    ) -> float:
+        """Maximum flow from ``source`` to ``sink``.
+
+        With ``cutoff`` set, stops as soon as the accumulated flow
+        reaches it and returns ``cutoff`` — exact answers above the
+        threshold are never needed by the connectivity code.
+        """
+        if source == sink:
+            raise ParameterError("source and sink must differ")
+        flow = 0.0
+        while flow < cutoff and self._bfs(source, sink):
+            self._iter = list(self.head)
+            pushed = self._dfs(source, sink, cutoff - flow)
+            if pushed == 0:
+                break
+            flow += pushed
+        return min(flow, cutoff)
+
+    def min_cut_side(self, source: int) -> set[int]:
+        """Vertices reachable from ``source`` in the residual network.
+
+        Valid after :meth:`max_flow` has run to completion (no cutoff
+        short-circuit); the returned set is the source side of a minimum
+        cut.
+        """
+        seen = {source}
+        queue = deque((source,))
+        to, cap, nxt = self.to, self.cap, self.next_edge
+        while queue:
+            u = queue.popleft()
+            e = self.head[u]
+            while e != -1:
+                v = to[e]
+                if cap[e] > 0 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+                e = nxt[e]
+        return seen

@@ -1,0 +1,234 @@
+"""Vertex-split flow networks for vertex-connectivity queries.
+
+Menger's theorem reduces "how many vertex-disjoint u→v paths exist" to a
+max-flow question on the *split* network: every vertex ``w`` becomes an
+arc ``w_in → w_out`` of capacity 1, and every undirected edge {u, v}
+becomes the two arcs ``u_out → v_in`` and ``v_out → u_in``. A flow from
+``u_out`` to ``v_in`` then counts internally-vertex-disjoint paths.
+
+:class:`VertexSplitNetwork` builds the arc structure once per graph and
+resets capacities between queries, so repeated local-connectivity tests
+(the inner loop of ME and FBM) do not rebuild adjacency arrays.
+
+Virtual vertices (the σ and τ of Theorems 1 and 3) are ordinary vertices
+here: callers add them to the member set with their adjacency before
+constructing the network, via :meth:`VertexSplitNetwork.with_virtual`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.errors import GraphError, ParameterError
+from repro.flow.dinic import Dinic
+from repro.graph.adjacency import Graph
+
+__all__ = ["VertexSplitNetwork"]
+
+
+class VertexSplitNetwork:
+    """Reusable vertex-split flow network over an induced subgraph.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    members:
+        Vertex set to induce the network on (defaults to all vertices).
+    virtual_sources:
+        Mapping of virtual vertex label → iterable of member vertices it
+        is adjacent to. Virtual labels must not collide with members.
+    """
+
+    __slots__ = ("_index", "_dinic", "_caps0", "_adjacent")
+
+    def __init__(
+        self,
+        graph: Graph,
+        members: Iterable[Hashable] | None = None,
+        virtual_sources: dict[Hashable, Iterable[Hashable]] | None = None,
+    ) -> None:
+        member_set = (
+            graph.vertex_set() if members is None else set(members)
+        )
+        missing = [u for u in member_set if not graph.has_vertex(u)]
+        if missing:
+            raise GraphError(f"members not in graph: {missing[:5]!r}")
+        virtuals = virtual_sources or {}
+        collisions = set(virtuals) & member_set
+        if collisions:
+            raise ParameterError(
+                f"virtual labels collide with members: {collisions!r}"
+            )
+
+        self._index: dict[Hashable, int] = {}
+        for u in member_set:
+            self._index[u] = len(self._index)
+        for label in virtuals:
+            self._index[label] = len(self._index)
+
+        n = len(self._index)
+        dinic = Dinic(2 * n)
+        # w_in = 2i, w_out = 2i + 1; internal arc capacity 1.
+        for i in range(n):
+            dinic.add_edge(2 * i, 2 * i + 1, 1)
+        # Edge arcs must exceed any possible flow value so minimum cuts
+        # cross only internal arcs — that is what lets min_vertex_cut
+        # read the cut as a set of *vertices*. Total flow is capped by
+        # the n unit internal arcs, so 2n + 1 is safely "infinite".
+        big = 2 * n + 1
+        self._adjacent: dict[Hashable, set] = {}
+        for u in member_set:
+            inside = graph.neighbors(u) & member_set
+            self._adjacent[u] = set(inside)
+            ui = self._index[u]
+            for v in inside:
+                vi = self._index[v]
+                if ui < vi:
+                    dinic.add_edge(2 * ui + 1, 2 * vi, big)
+                    dinic.add_edge(2 * vi + 1, 2 * ui, big)
+        for label, attached in virtuals.items():
+            attach_set = set(attached)
+            outside = attach_set - member_set
+            if outside:
+                raise ParameterError(
+                    f"virtual vertex {label!r} attaches outside members: "
+                    f"{sorted(map(repr, outside))[:5]}"
+                )
+            self._adjacent[label] = attach_set
+            li = self._index[label]
+            for v in attach_set:
+                self._adjacent[v].add(label)
+                vi = self._index[v]
+                dinic.add_edge(2 * li + 1, 2 * vi, big)
+                dinic.add_edge(2 * vi + 1, 2 * li, big)
+        self._dinic = dinic
+        self._caps0 = list(dinic.cap)
+
+    @classmethod
+    def with_virtual(
+        cls,
+        graph: Graph,
+        members: Iterable[Hashable],
+        virtual_sources: dict[Hashable, Iterable[Hashable]],
+    ) -> "VertexSplitNetwork":
+        """Explicit-name constructor for networks with virtual vertices."""
+        return cls(graph, members, virtual_sources=virtual_sources)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of (real + virtual) vertices in the network."""
+        return len(self._index)
+
+    def contains(self, u: Hashable) -> bool:
+        """Whether ``u`` is a member or virtual vertex of this network."""
+        return u in self._index
+
+    def adjacent(self, u: Hashable, v: Hashable) -> bool:
+        """Whether ``u`` and ``v`` are adjacent inside the network."""
+        return v in self._adjacent[u]
+
+    def _reset(self) -> None:
+        self._dinic.cap[:] = self._caps0
+
+    def max_flow(
+        self, source: Hashable, sink: Hashable, cutoff: float = float("inf")
+    ) -> float:
+        """Max flow (= vertex-disjoint path count) for a non-adjacent pair.
+
+        Equals κ(source, sink) inside the network by Menger's theorem.
+        Adjacent pairs are rejected: no vertex removal separates an
+        edge's endpoints, the paper defines κ = ∞ there, and the split
+        network's unbounded direct arc would return garbage. Use
+        :meth:`local_connectivity_at_least`, which folds the adjacency
+        convention in.
+        """
+        if source == sink:
+            raise ParameterError("source and sink must differ")
+        for label in (source, sink):
+            if label not in self._index:
+                raise ParameterError(f"{label!r} is not in the network")
+        if self.adjacent(source, sink):
+            raise ParameterError(
+                f"{source!r} and {sink!r} are adjacent: κ is unbounded "
+                "(use local_connectivity_at_least)"
+            )
+        self._reset()
+        s = 2 * self._index[source] + 1  # source's out-node
+        t = 2 * self._index[sink]  # sink's in-node
+        return self._dinic.max_flow(s, t, cutoff=cutoff)
+
+    def local_connectivity_at_least(
+        self, source: Hashable, sink: Hashable, k: int
+    ) -> bool:
+        """Whether κ(source, sink) ≥ k inside the network.
+
+        Adjacent pairs are infinitely connected by convention
+        (Definition 4 of the paper), hence always True.
+        """
+        if k <= 0:
+            return True
+        if self.adjacent(source, sink):
+            return True
+        return self.max_flow(source, sink, cutoff=k) >= k
+
+    def vertex_cut_if_below(
+        self, source: Hashable, sink: Hashable, k: int
+    ) -> set | None:
+        """A minimum vertex cut separating source/sink if κ < k, else None.
+
+        Runs the flow with a cutoff of ``k``: if the true connectivity is
+        below the cutoff, Dinic runs to completion, the residual network
+        is exact, and the cut can be read off it; otherwise we learn
+        "≥ k" cheaply and return None. Adjacent pairs can never be
+        separated and return None.
+        """
+        if self.adjacent(source, sink):
+            return None
+        flow = self.max_flow(source, sink, cutoff=k)
+        if flow >= k:
+            return None
+        return self._read_cut(source)
+
+    def _read_cut(self, source: Hashable) -> set:
+        """Extract the vertex cut from the current residual network."""
+        side = self._dinic.min_cut_side(2 * self._index[source] + 1)
+        cut: set = set()
+        for label, i in self._index.items():
+            if 2 * i in side and 2 * i + 1 not in side:
+                cut.add(label)
+        return cut
+
+    def saturated_arcs(self) -> list[tuple[Hashable, Hashable]]:
+        """Edge arcs (u, v) carrying flow after the last max_flow call.
+
+        Only inter-vertex arcs are reported (u_out → v_in), as label
+        pairs; internal arcs are implied. Used by the flow-to-paths
+        decomposition.
+        """
+        labels = {i: label for label, i in self._index.items()}
+        arcs: list[tuple[Hashable, Hashable]] = []
+        for arc in range(0, len(self._dinic.to), 2):
+            if self._caps0[arc] - self._dinic.cap[arc] <= 0:
+                continue
+            head = self._dinic.to[arc]
+            tail = self._dinic.to[arc ^ 1]
+            if tail % 2 == 1 and head % 2 == 0:
+                arcs.append((labels[tail // 2], labels[head // 2]))
+        return arcs
+
+    def min_vertex_cut(self, source: Hashable, sink: Hashable) -> set:
+        """A minimum vertex cut separating two *non-adjacent* vertices.
+
+        Runs max-flow to completion, then reads the cut off the residual
+        reachability: a vertex is in the cut iff its in-node is reachable
+        from the source but its out-node is not.
+        """
+        if self.adjacent(source, sink):
+            raise ParameterError(
+                f"{source!r} and {sink!r} are adjacent; no vertex cut exists"
+            )
+        self.max_flow(source, sink)  # leaves residual state in _dinic
+        return self._read_cut(source)

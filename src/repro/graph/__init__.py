@@ -1,0 +1,98 @@
+"""Graph substrate: adjacency-set graphs and the algorithms on them.
+
+Everything the k-VCC pipelines need from a graph library — traversal,
+k-core peeling, BFS forests, maximal cliques, generators, and IO — is
+implemented here from scratch for speed on CPython.
+"""
+
+from repro.graph.adjacency import Graph
+from repro.graph.cliques import (
+    max_clique_size,
+    maximal_cliques,
+    maximal_cliques_at_least,
+)
+from repro.graph.forests import (
+    bfs_forest,
+    k_bfs_forests,
+    k_bfs_seed_components,
+    sparse_certificate,
+)
+from repro.graph.generators import (
+    CommunitySpec,
+    attach_mixed_chains,
+    attach_support_pairs,
+    circulant_graph,
+    clique_graph,
+    community_graph,
+    mixed_community_graph,
+    nbm_trap_graph,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+    powerlaw_cluster_graph,
+    random_gnm,
+    social_fringe_graph,
+    ue_trap_graph,
+)
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.stats import (
+    average_clustering,
+    degree_histogram,
+    density,
+    triangle_count,
+)
+from repro.graph.kcore import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+)
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_tree_edges,
+    component_of,
+    connected_components,
+    is_connected,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "CommunitySpec",
+    "Graph",
+    "attach_mixed_chains",
+    "attach_support_pairs",
+    "average_clustering",
+    "bfs_forest",
+    "bfs_order",
+    "bfs_tree_edges",
+    "circulant_graph",
+    "clique_graph",
+    "community_graph",
+    "component_of",
+    "connected_components",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_ordering",
+    "degree_histogram",
+    "density",
+    "is_connected",
+    "k_bfs_forests",
+    "k_bfs_seed_components",
+    "k_core",
+    "max_clique_size",
+    "maximal_cliques",
+    "maximal_cliques_at_least",
+    "mixed_community_graph",
+    "nbm_trap_graph",
+    "overlapping_cliques_graph",
+    "parse_edge_list",
+    "planted_kvcc_graph",
+    "powerlaw_cluster_graph",
+    "random_gnm",
+    "read_edge_list",
+    "shortest_path_lengths",
+    "social_fringe_graph",
+    "sparse_certificate",
+    "triangle_count",
+    "ue_trap_graph",
+    "write_edge_list",
+]

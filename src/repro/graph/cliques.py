@@ -1,0 +1,126 @@
+"""Maximal clique enumeration (Bron–Kerbosch) for seeding and RME.
+
+Two entry points:
+
+* :func:`maximal_cliques` — all maximal cliques of a graph, Bron–Kerbosch
+  with Tomita pivoting over a degeneracy-ordered outer loop (the
+  Eppstein–Strash scheme the paper cites, O(d · n · 3^(d/3))).
+* :func:`maximal_cliques_at_least` — only maximal cliques of at least a
+  given size, with subtree pruning (branches where ``|R| + |P|`` cannot
+  reach the threshold are cut). QkVCS uses this with ``min_size = k + 1``
+  (a (k+1)-clique is k-vertex connected); RME uses it inside candidate
+  rings with ``min_size = k - r + 1``.
+
+The recursion depth equals the size of the clique being grown, which is
+bounded by the largest clique in the graph — far below CPython's
+recursion limit for any graph this library targets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.kcore import degeneracy_ordering
+
+__all__ = ["maximal_cliques", "maximal_cliques_at_least", "max_clique_size"]
+
+
+def _expand(
+    graph: Graph,
+    clique: list,
+    candidates: set,
+    excluded: set,
+    min_size: int,
+) -> Iterator[frozenset]:
+    """Bron–Kerbosch with Tomita pivoting and min-size pruning."""
+    if not candidates and not excluded:
+        if len(clique) >= min_size:
+            yield frozenset(clique)
+        return
+    if len(clique) + len(candidates) < min_size:
+        return
+    # Tomita pivot: vertex of P ∪ X with the most neighbours in P, which
+    # minimises the number of branches explored below this frame.
+    pivot = max(
+        candidates | excluded,
+        key=lambda u: len(graph.neighbors(u) & candidates),
+    )
+    for v in list(candidates - graph.neighbors(pivot)):
+        nbrs = graph.neighbors(v)
+        clique.append(v)
+        yield from _expand(
+            graph, clique, candidates & nbrs, excluded & nbrs, min_size
+        )
+        clique.pop()
+        candidates.discard(v)
+        excluded.add(v)
+
+
+def maximal_cliques(graph: Graph) -> Iterator[frozenset]:
+    """Enumerate every maximal clique of ``graph`` exactly once."""
+    yield from maximal_cliques_at_least(graph, 1)
+
+
+def maximal_cliques_at_least(
+    graph: Graph, min_size: int
+) -> Iterator[frozenset]:
+    """Enumerate maximal cliques with at least ``min_size`` vertices.
+
+    The outer loop walks a degeneracy ordering (Eppstein–Strash), so each
+    root call has a candidate set no larger than the graph degeneracy.
+    """
+    if min_size < 1:
+        raise ParameterError(f"min_size must be >= 1, got {min_size}")
+    order = degeneracy_ordering(graph)
+    position = {u: i for i, u in enumerate(order)}
+    for u in order:
+        nbrs = graph.neighbors(u)
+        later = {v for v in nbrs if position[v] > position[u]}
+        earlier = set(nbrs) - later
+        if 1 + len(later) < min_size:
+            continue
+        yield from _expand(graph, [u], later, earlier, min_size)
+
+
+def cliques_from_roots(
+    graph: Graph,
+    min_size: int,
+    position: dict,
+    roots: list,
+) -> Iterator[frozenset]:
+    """Maximal cliques rooted at the given degeneracy-order positions.
+
+    The parallel seeding stage splits the outer loop of
+    :func:`maximal_cliques_at_least` across workers: each worker calls
+    this with its slice of ``roots`` and the shared ``position`` map
+    (vertex → index in one fixed degeneracy ordering). The union over
+    all slices equals the sequential enumeration, with no duplicates
+    across slices.
+    """
+    if min_size < 1:
+        raise ParameterError(f"min_size must be >= 1, got {min_size}")
+    for u in roots:
+        nbrs = graph.neighbors(u)
+        later = {v for v in nbrs if position[v] > position[u]}
+        earlier = set(nbrs) - later
+        if 1 + len(later) < min_size:
+            continue
+        yield from _expand(graph, [u], later, earlier, min_size)
+
+
+def max_clique_size(graph: Graph) -> int:
+    """Size of the largest clique (0 for the empty graph).
+
+    Repeatedly raises the pruning threshold, so it is usually much
+    faster than enumerating all maximal cliques.
+    """
+    best = 0
+    lower = 1
+    while True:
+        found = next(iter(maximal_cliques_at_least(graph, lower)), None)
+        if found is None:
+            return best
+        best = max(best, len(found))
+        lower = best + 1

@@ -1,0 +1,93 @@
+"""Reading and writing graphs as edge lists.
+
+Supports the whitespace-separated edge-list format used by SNAP and the
+Network Repository (one ``u v`` pair per line, ``#`` or ``%`` comments).
+Self-loops in input files are rejected by default because the k-VCC
+machinery is defined on simple graphs; parallel edges collapse silently.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.errors import GraphError, ParseError
+from repro.graph.adjacency import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
+
+
+def parse_edge_list(
+    lines: Iterable[str], *, allow_self_loops: bool = False
+) -> Graph:
+    """Build a graph from an iterable of edge-list lines.
+
+    Lines that are blank or start with ``#`` / ``%`` are skipped; a line
+    with a single token declares an isolated vertex. Vertex labels that
+    look like integers are stored as ``int``; anything else stays a
+    string. With ``allow_self_loops`` set, self-loop lines are silently
+    dropped instead of raising (some public datasets contain them).
+    """
+    graph = Graph()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            # A bare label declares an isolated vertex (lossless
+            # round-tripping of graphs with degree-0 vertices).
+            graph.add_vertex(_coerce(parts[0]))
+            continue
+        u, v = _coerce(parts[0]), _coerce(parts[1])
+        if u == v:
+            if allow_self_loops:
+                graph.add_vertex(u)
+                continue
+            raise ParseError(f"line {lineno}: self-loop on {u!r}")
+        try:
+            graph.add_edge(u, v)
+        except GraphError as exc:  # pragma: no cover - defensive
+            raise ParseError(f"line {lineno}: {exc}") from exc
+    return graph
+
+
+def _coerce(token: str):
+    """Interpret a vertex token as int when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(
+    path: str | os.PathLike, *, allow_self_loops: bool = False
+) -> Graph:
+    """Read a graph from an edge-list file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_edge_list(handle, allow_self_loops=allow_self_loops)
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write a graph as a sorted edge list (stable output for diffing)."""
+    lines = sorted(
+        f"{u} {v}" if _key(u) <= _key(v) else f"{v} {u}"
+        for u, v in graph.edges()
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            f"# repro edge list: n={graph.num_vertices} m={graph.num_edges}\n"
+        )
+        for u in sorted(graph.vertices(), key=_key):
+            if graph.degree(u) == 0:
+                handle.write(f"{u}\n")
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
+
+
+def _key(value) -> tuple[int, str]:
+    """Ordering key that works across mixed int/str vertex labels."""
+    if isinstance(value, int):
+        return (0, f"{value:020d}")
+    return (1, str(value))

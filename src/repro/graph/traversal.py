@@ -1,0 +1,113 @@
+"""Graph traversal primitives: BFS, DFS, connected components.
+
+These run on :class:`repro.graph.Graph` and are shared by k-core pruning,
+seeding, and the top-down partitioning baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "bfs_order",
+    "bfs_tree_edges",
+    "connected_components",
+    "is_connected",
+    "component_of",
+    "shortest_path_lengths",
+]
+
+
+def bfs_order(graph: Graph, source: Hashable) -> list:
+    """Vertices reachable from ``source`` in BFS visitation order."""
+    if not graph.has_vertex(source):
+        raise GraphError(f"source {source!r} not in graph")
+    order = [source]
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def bfs_tree_edges(
+    graph: Graph, source: Hashable, forbidden_edges: set | None = None
+) -> list[tuple[Hashable, Hashable]]:
+    """Edges of a BFS tree rooted at ``source``.
+
+    ``forbidden_edges`` is a set of frozensets of endpoints that the
+    traversal must not use; this is what the Nagamochi–Ibaraki style
+    k-round BFS forest construction needs.
+    """
+    if not graph.has_vertex(source):
+        raise GraphError(f"source {source!r} not in graph")
+    forbidden = forbidden_edges or set()
+    tree: list[tuple[Hashable, Hashable]] = []
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in seen or frozenset((u, v)) in forbidden:
+                continue
+            seen.add(v)
+            tree.append((u, v))
+            queue.append(v)
+    return tree
+
+
+def connected_components(graph: Graph) -> list[set]:
+    """All connected components as vertex sets, largest-first order not guaranteed."""
+    components: list[set] = []
+    seen: set = set()
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp = {start}
+        queue = deque((start,))
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in comp:
+                    comp.add(v)
+                    queue.append(v)
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected. The empty graph counts as connected."""
+    if graph.num_vertices == 0:
+        return True
+    first = next(iter(graph.vertices()))
+    return len(bfs_order(graph, first)) == graph.num_vertices
+
+
+def component_of(graph: Graph, vertex: Hashable) -> set:
+    """The vertex set of the connected component containing ``vertex``."""
+    return set(bfs_order(graph, vertex))
+
+
+def shortest_path_lengths(graph: Graph, source: Hashable) -> dict:
+    """Unweighted shortest-path length from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise GraphError(f"source {source!r} not in graph")
+    dist = {source: 0}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist

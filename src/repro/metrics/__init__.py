@@ -1,0 +1,5 @@
+"""Accuracy metrics (F_same and J_Index) from Wang et al., VLDB'15."""
+
+from repro.metrics.accuracy import accuracy_report, f_same, j_index
+
+__all__ = ["accuracy_report", "f_same", "j_index"]

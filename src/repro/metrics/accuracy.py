@@ -1,0 +1,87 @@
+"""Accuracy metrics for comparing detected k-VCCs against the truth.
+
+The paper's Section VI uses two metrics from Wang et al. (VLDB'15):
+
+* **Cross Common Fraction** ``F_same`` (Eq. 1): for each detected
+  component take its best-overlapping true component and vice versa,
+  sum the shared sizes both ways with weight ½ each. We report the
+  *normalised* value — the raw Eq. 1 count divided by the same
+  expression evaluated with both sides perfect (½·Σ|detected| +
+  ½·Σ|truth|) — so identical results score 100% and missing or
+  fragmented communities pull the score down.
+* **Jaccard Index** ``J_Index`` (Eq. 2): over vertex *pairs*.
+  ``S_t`` = pairs co-members in both results; ``S_f1`` = co-members
+  only in the detected result; ``S_f2`` = co-members only in the truth.
+  ``J = |S_t| / (|S_t| + |S_f1| + |S_f2|)``. Very sensitive to wrong
+  merges: fusing two large true communities creates quadratically many
+  false co-member pairs, which is why the paper's Table III shows NBM's
+  over-merging as single-digit J_Index scores.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+__all__ = ["f_same", "j_index", "accuracy_report"]
+
+
+def _normalise(components: Iterable[Iterable]) -> list[frozenset]:
+    return [frozenset(c) for c in components]
+
+
+def f_same(
+    detected: Sequence[Iterable], truth: Sequence[Iterable]
+) -> float:
+    """Normalised Cross Common Fraction in ``[0, 1]``.
+
+    Returns 1.0 when both sides are empty, 0.0 when exactly one is.
+    """
+    ours = _normalise(detected)
+    real = _normalise(truth)
+    if not ours and not real:
+        return 1.0
+    if not ours or not real:
+        return 0.0
+    forward = sum(max(len(a & b) for b in real) for a in ours)
+    backward = sum(max(len(a & b) for a in ours) for b in real)
+    raw = 0.5 * forward + 0.5 * backward
+    perfect = 0.5 * sum(len(a) for a in ours) + 0.5 * sum(
+        len(b) for b in real
+    )
+    return raw / perfect
+
+
+def _co_member_pairs(components: list[frozenset]) -> set[frozenset]:
+    pairs: set[frozenset] = set()
+    for comp in components:
+        ordered = sorted(comp, key=repr)
+        pairs.update(
+            frozenset(p) for p in itertools.combinations(ordered, 2)
+        )
+    return pairs
+
+
+def j_index(
+    detected: Sequence[Iterable], truth: Sequence[Iterable]
+) -> float:
+    """Pairwise Jaccard index in ``[0, 1]`` (Eq. 2).
+
+    Returns 1.0 when neither side contains any co-member pair.
+    """
+    ours = _co_member_pairs(_normalise(detected))
+    real = _co_member_pairs(_normalise(truth))
+    if not ours and not real:
+        return 1.0
+    union = len(ours | real)
+    return len(ours & real) / union
+
+
+def accuracy_report(
+    detected: Sequence[Iterable], truth: Sequence[Iterable]
+) -> dict[str, float]:
+    """Both metrics as percentages, keyed like the paper's tables."""
+    return {
+        "F_same": 100.0 * f_same(detected, truth),
+        "J_Index": 100.0 * j_index(detected, truth),
+    }

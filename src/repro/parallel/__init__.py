@@ -1,0 +1,5 @@
+"""Parallel execution of the RIPPLE pipeline (Figure 10)."""
+
+from repro.parallel.executor import ParallelConfig, parallel_ripple
+
+__all__ = ["ParallelConfig", "parallel_ripple"]

@@ -1,0 +1,287 @@
+"""Parallel RIPPLE: the three-stage task decomposition of Section VI-E.
+
+The paper parallelises RIPPLE with OpenMP in three places:
+
+1. **QkVCS** — maximal-clique enumeration is split by degeneracy-order
+   roots, and the LkVCS fallback sweep is split by start vertex;
+2. **FBM** — the pairwise merge conditions of one round are evaluated
+   concurrently, then the accepted merges are applied through a
+   union-find (resolving the data contention the paper describes by
+   construction instead of locking);
+3. **RME** — each seed subgraph expands independently.
+
+Substitution note (DESIGN.md §3): CPython threads cannot run this
+CPU-bound work concurrently under the GIL, so the default backend is a
+``multiprocessing`` pool — each worker receives the (immutable) k-core
+once via its initializer, and tasks ship only vertex sets. A thread
+backend is kept for measuring the task decomposition without process
+overhead; with it, wall-clock speedups are bounded near 1 by the GIL,
+which the Figure 10 bench reports explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.core.expansion import ring_expansion
+from repro.core.merging import flow_based_merge_condition
+from repro.core.result import PhaseTimer, VCCResult
+from repro.core.seeding import kbfs_seeds, lkvcs
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.cliques import cliques_from_roots
+from repro.graph.kcore import degeneracy_ordering, k_core
+
+__all__ = ["parallel_ripple", "ParallelConfig"]
+
+# Worker-global state, installed by the pool initializer so that task
+# payloads stay tiny (vertex sets only). With the default fork start
+# method the graph is shared copy-on-write; under spawn it is pickled
+# once per worker rather than once per task.
+_WORKER_GRAPH: Graph | None = None
+_WORKER_K: int = 0
+
+
+def _init_worker(graph: Graph, k: int) -> None:
+    global _WORKER_GRAPH, _WORKER_K
+    _WORKER_GRAPH = graph
+    _WORKER_K = k
+
+
+def _expand_task(seed: frozenset) -> frozenset:
+    return frozenset(ring_expansion(_WORKER_GRAPH, _WORKER_K, set(seed)))
+
+
+def _merge_pair_task(pair: tuple[frozenset, frozenset]) -> bool:
+    side_a, side_b = pair
+    return flow_based_merge_condition(
+        _WORKER_GRAPH, _WORKER_K, set(side_a), set(side_b), PhaseTimer()
+    )
+
+
+def _clique_roots_task(
+    payload: tuple[dict, tuple]
+) -> list[frozenset]:
+    position, roots = payload
+    return list(
+        cliques_from_roots(
+            _WORKER_GRAPH, _WORKER_K + 1, position, list(roots)
+        )
+    )
+
+
+def _lkvcs_task(payload: tuple[object, int]) -> frozenset | None:
+    vertex, alpha = payload
+    seed = lkvcs(_WORKER_GRAPH, _WORKER_K, vertex, alpha=alpha)
+    return None if seed is None else frozenset(seed)
+
+
+class ParallelConfig:
+    """How to run the pool: worker count and backend.
+
+    ``backend`` is ``"process"`` (true parallelism, default) or
+    ``"thread"`` (GIL-bound; useful to isolate decomposition overhead).
+    """
+
+    def __init__(self, workers: int = 2, backend: str = "process") -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if backend not in ("process", "thread"):
+            raise ParameterError(
+                f"backend must be 'process' or 'thread', got {backend!r}"
+            )
+        self.workers = workers
+        self.backend = backend
+
+    def make_pool(self, graph: Graph, k: int) -> Executor:
+        if self.backend == "thread":
+            # Threads share the interpreter: install the globals directly.
+            _init_worker(graph, k)
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(graph, k),
+        )
+
+
+def _chunks(items: list, pieces: int) -> list[tuple]:
+    """Split ``items`` into at most ``pieces`` round-robin chunks."""
+    return [
+        tuple(items[i::pieces]) for i in range(pieces) if items[i::pieces]
+    ]
+
+
+def parallel_ripple(
+    graph: Graph,
+    k: int,
+    config: ParallelConfig | None = None,
+    alpha: int = 1000,
+) -> VCCResult:
+    """RIPPLE with its three stages fanned out over a worker pool.
+
+    Produces the same components as :func:`repro.core.ripple` up to
+    heuristic tie-breaking; the value under test is the wall-clock
+    scaling of Figure 10.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be >= 2, got {k}")
+    config = config or ParallelConfig()
+    timer = PhaseTimer()
+    name = f"RIPPLE-parallel[{config.backend} x{config.workers}]"
+
+    with timer.phase("kcore"):
+        core = k_core(graph, k)
+    if core.num_vertices <= k:
+        return VCCResult([], k=k, algorithm=name, timer=timer)
+
+    with config.make_pool(core, k) as pool:
+        with timer.phase("seeding"):
+            components = _parallel_seeding(pool, core, k, alpha, config, timer)
+        if components:
+            components = _merge_expand_loop(
+                pool, core, k, components, timer
+            )
+    with timer.phase("finalize"):
+        final = _finalize(components, k)
+    return VCCResult(final, k=k, algorithm=name, timer=timer)
+
+
+def _parallel_seeding(
+    pool: Executor,
+    core: Graph,
+    k: int,
+    alpha: int,
+    config: ParallelConfig,
+    timer: PhaseTimer,
+) -> list[set]:
+    """QkVCS with parallel clique roots and parallel LkVCS fallback."""
+    seeds = [set(s) for s in kbfs_seeds(core, k, timer=timer)]
+    order = degeneracy_ordering(core)
+    position = {u: i for i, u in enumerate(order)}
+    payloads = [
+        (position, chunk) for chunk in _chunks(order, 4 * config.workers)
+    ]
+    for cliques in pool.map(_clique_roots_task, payloads):
+        seeds.extend(set(c) for c in cliques)
+    covered: set = set().union(*seeds) if seeds else set()
+    uncovered = sorted(
+        (u for u in core.vertices() if u not in covered), key=core.degree
+    )
+    for found in pool.map(
+        _lkvcs_task, [(u, alpha) for u in uncovered]
+    ):
+        # Results arrive in submission order; respecting prior coverage
+        # here mirrors the sequential sweep's skip rule.
+        if found is not None and not (found <= covered):
+            seeds.append(set(found))
+            covered |= found
+    return _dedupe(seeds)
+
+
+def _merge_expand_loop(
+    pool: Executor,
+    core: Graph,
+    k: int,
+    components: list[set],
+    timer: PhaseTimer,
+) -> list[set]:
+    """Alternate parallel FBM rounds and parallel RME until stable."""
+    while True:
+        before = {frozenset(c) for c in components}
+        with timer.phase("merging"):
+            components = _parallel_merge(pool, core, k, components, timer)
+        with timer.phase("expansion"):
+            components = [
+                set(grown)
+                for grown in pool.map(
+                    _expand_task, [frozenset(c) for c in components]
+                )
+            ]
+        timer.count("rounds")
+        if {frozenset(c) for c in components} == before:
+            return components
+
+
+def _parallel_merge(
+    pool: Executor,
+    core: Graph,
+    k: int,
+    components: list[set],
+    timer: PhaseTimer,
+) -> list[set]:
+    """Rounds of concurrent pair checks + union-find application.
+
+    Merging accepted pairs through a union-find is sound even for
+    chains: any two accepted sets that end up in one group overlap in a
+    whole component of > k vertices, so the union stays k-connected.
+    """
+    pool_sets = [set(c) for c in components]
+    while True:
+        candidates = [
+            (i, j)
+            for i, j in itertools.combinations(range(len(pool_sets)), 2)
+            if _touches(core, pool_sets[i], pool_sets[j])
+        ]
+        if not candidates:
+            return pool_sets
+        verdicts = pool.map(
+            _merge_pair_task,
+            [
+                (frozenset(pool_sets[i]), frozenset(pool_sets[j]))
+                for i, j in candidates
+            ],
+        )
+        parent = list(range(len(pool_sets)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        merged_any = False
+        for (i, j), ok in zip(candidates, verdicts):
+            if ok:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+                    merged_any = True
+                    timer.count("merges")
+        if not merged_any:
+            return pool_sets
+        groups: dict[int, set] = {}
+        for idx, comp in enumerate(pool_sets):
+            groups.setdefault(find(idx), set()).update(comp)
+        pool_sets = list(groups.values())
+
+
+def _touches(graph: Graph, side_a: set, side_b: set) -> bool:
+    small, large = sorted((side_a, side_b), key=len)
+    if small & large:
+        return True
+    return any(graph.neighbors(u) & large for u in small)
+
+
+def _dedupe(seeds: list[set]) -> list[set]:
+    unique: list[set] = []
+    for seed in sorted(seeds, key=len, reverse=True):
+        if any(seed <= kept for kept in unique):
+            continue
+        unique.append(set(seed))
+    return unique
+
+
+def _finalize(components: list[set], k: int) -> list[frozenset]:
+    ordered = sorted(
+        {frozenset(c) for c in components}, key=len, reverse=True
+    )
+    kept: list[frozenset] = []
+    for comp in ordered:
+        if len(comp) <= k:
+            continue
+        if any(comp < other for other in kept):
+            continue
+        kept.append(comp)
+    return kept

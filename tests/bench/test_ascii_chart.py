@@ -1,0 +1,46 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        text = bar_chart("T", ["a", "bb"], [1.0, 2.0], unit="s")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "█" in lines[2]
+        # the larger value gets the longer bar
+        assert lines[3].count("█") > lines[2].count("█")
+        assert "2s" in lines[3]
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart("T", [], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", ["a"], [1.0, 2.0])
+
+    def test_log_scale_keeps_small_values_visible(self):
+        text = bar_chart("T", ["tiny", "huge"], [0.001, 1000.0], log=True)
+        tiny_line = text.splitlines()[2]
+        assert tiny_line.count("█") >= 1
+
+    def test_zero_values(self):
+        text = bar_chart("T", ["z", "p"], [0.0, 5.0])
+        z_line = text.splitlines()[2]
+        assert z_line.count("█") == 0
+
+
+class TestGroupedBarChart:
+    def test_series_per_x(self):
+        text = grouped_bar_chart(
+            "Fig", [3, 4], {"TD": [1.0, 0.5], "RP": [0.2, 0.1]}
+        )
+        assert "x=3" in text and "x=4" in text
+        assert text.count("TD") == 2
+        assert text.count("RP") == 2
+
+    def test_empty_series(self):
+        assert "(no data)" in grouped_bar_chart("F", [], {"a": []})

@@ -1,0 +1,73 @@
+"""Shared test fixtures and oracle helpers."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.graph import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert a repro Graph into a networkx Graph (test oracle only)."""
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.vertices())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def brute_force_is_k_connected(graph: Graph, k: int) -> bool:
+    """Definition-level check: removing any k-1 vertices keeps G connected.
+
+    Exponential — only for graphs with ~12 or fewer vertices.
+    """
+    from repro.graph import is_connected
+
+    n = graph.num_vertices
+    if n <= k:
+        return False
+    if not is_connected(graph):
+        return False
+    members = graph.vertex_set()
+    for size in range(1, k):
+        for removed in itertools.combinations(members, size):
+            rest = members - set(removed)
+            if len(rest) <= 1:
+                continue
+            if not is_connected(graph.subgraph(rest)):
+                return False
+    return True
+
+
+@pytest.fixture
+def paper_figure1_graph() -> Graph:
+    """The 16-vertex, 36-edge example graph of Figure 1.
+
+    Built to match the paper's stated k-VCC structure:
+
+    * k=2: vertices 1..15 form the 2-VCC (16 hangs off one vertex);
+    * k=3: {10..14} and {1..9} are the two 3-VCCs;
+    * k=4: only {10..14} (K5) survives.
+    """
+    g = Graph()
+    # G2 = {10, 11, 12, 13, 14}: a K5 (4-vertex connected).
+    for u, v in itertools.combinations(range(10, 15), 2):
+        g.add_edge(u, v)
+    # G3 = {1..9}: 3-vertex connected but not 4 (circulant C9(1,2) is
+    # exactly 4-connected, so drop one chord to land at 3).
+    for i in range(9):
+        g.add_edge(1 + i, 1 + (i + 1) % 9)
+        g.add_edge(1 + i, 1 + (i + 2) % 9)
+    g.remove_edge(1, 3)
+    # Vertex 15 ties the two 3-VCCs together with 2 edges each, and one
+    # direct bridge 9–14 gives the union 2- (but not 3-) connectivity.
+    g.add_edge(15, 1)
+    g.add_edge(15, 2)
+    g.add_edge(15, 10)
+    g.add_edge(15, 11)
+    g.add_edge(9, 14)
+    # Vertex 16 hangs off vertex 9 with a single edge: only in the 1-VCC.
+    g.add_edge(16, 9)
+    return g

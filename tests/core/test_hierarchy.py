@@ -1,0 +1,65 @@
+"""Tests for the k-VCC hierarchy (Figure 1's all-k decomposition)."""
+
+import pytest
+
+from repro.core import kvcc_hierarchy, max_kvcc_level, membership_levels, vcce_td
+from repro.errors import ParameterError
+from repro.graph import Graph, clique_graph, community_graph, random_gnm
+
+
+class TestHierarchy:
+    def test_clique_levels(self):
+        levels = kvcc_hierarchy(clique_graph(5))
+        assert sorted(levels) == [1, 2, 3, 4]
+        for k in levels:
+            assert levels[k] == [frozenset(range(5))]
+
+    def test_figure1_graph(self, paper_figure1_graph):
+        g = paper_figure1_graph
+        levels = kvcc_hierarchy(g)
+        assert levels[1] == [frozenset(g.vertex_set())]
+        assert levels[2] == [frozenset(range(1, 16))]
+        assert set(levels[3]) == {
+            frozenset(range(1, 10)),
+            frozenset(range(10, 15)),
+        }
+        assert levels[4] == [frozenset(range(10, 15))]
+        assert 5 not in levels
+
+    def test_matches_direct_td_per_level(self):
+        g = community_graph([14, 16], k=3, seed=6, bridge_width=2)
+        levels = kvcc_hierarchy(g)
+        for k in range(2, max(levels) + 1):
+            assert set(levels.get(k, [])) == set(vcce_td(g, k).components), k
+
+    def test_nesting_invariant(self):
+        g = random_gnm(24, 80, seed=4)
+        levels = kvcc_hierarchy(g)
+        for k in sorted(levels)[1:]:
+            for child in levels[k]:
+                assert any(child <= parent for parent in levels[k - 1])
+
+    def test_max_k_cap(self):
+        levels = kvcc_hierarchy(clique_graph(6), max_k=2)
+        assert sorted(levels) == [1, 2]
+
+    def test_empty_and_edgeless(self):
+        assert kvcc_hierarchy(Graph()) == {}
+        assert kvcc_hierarchy(Graph.from_edges([], vertices=[1, 2])) == {}
+
+    def test_invalid_max_k(self):
+        with pytest.raises(ParameterError):
+            kvcc_hierarchy(Graph(), max_k=0)
+
+
+class TestDerivedQueries:
+    def test_max_level(self):
+        assert max_kvcc_level(clique_graph(5)) == 4
+        assert max_kvcc_level(Graph()) == 0
+
+    def test_membership_levels(self, paper_figure1_graph):
+        depth = membership_levels(paper_figure1_graph)
+        assert depth[16] == 1   # the pendant vertex
+        assert depth[15] == 2   # the connector
+        assert depth[1] == 3    # in the 9-vertex 3-VCC
+        assert depth[10] == 4   # in the K5

@@ -1,0 +1,105 @@
+"""Tests for VCCResult and PhaseTimer."""
+
+import time
+
+from repro.core import PhaseTimer, VCCResult
+
+
+class TestPhaseTimer:
+    def test_phase_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            time.sleep(0.01)
+        with timer.phase("work"):
+            time.sleep(0.01)
+        assert timer.seconds("work") >= 0.02
+        assert timer.seconds("other") == 0.0
+
+    def test_counters(self):
+        timer = PhaseTimer()
+        timer.count("flows")
+        timer.count("flows", 4)
+        assert timer.counter("flows") == 5
+        assert timer.counter("nothing") == 0
+
+    def test_proportions_sum_to_one(self):
+        timer = PhaseTimer()
+        timer.add_seconds("a", 1.0)
+        timer.add_seconds("b", 3.0)
+        props = timer.proportions()
+        assert props["a"] == 0.25
+        assert props["b"] == 0.75
+        assert abs(sum(props.values()) - 1.0) < 1e-12
+
+    def test_proportions_empty(self):
+        assert PhaseTimer().proportions() == {}
+
+    def test_total(self):
+        timer = PhaseTimer()
+        timer.add_seconds("a", 2.0)
+        timer.add_seconds("b", 1.5)
+        assert timer.total_seconds() == 3.5
+
+    def test_copies_are_snapshots(self):
+        timer = PhaseTimer()
+        timer.count("x")
+        counters = timer.counters
+        timer.count("x")
+        assert counters["x"] == 1
+
+
+class TestVCCResult:
+    def test_components_sorted_and_frozen(self):
+        result = VCCResult([{3, 4}, {1, 2, 5}], k=2, algorithm="test")
+        assert result.components[0] == frozenset({1, 2, 5})
+        assert all(isinstance(c, frozenset) for c in result.components)
+
+    def test_num_components(self):
+        result = VCCResult([{1, 2}, {3, 4}], k=2, algorithm="test")
+        assert result.num_components == 2
+
+    def test_covered_vertices(self):
+        result = VCCResult([{1, 2}, {2, 3}], k=2, algorithm="test")
+        assert result.covered_vertices() == {1, 2, 3}
+
+    def test_component_containing(self):
+        result = VCCResult([{1, 2, 3}, {4, 5}], k=2, algorithm="test")
+        assert result.component_containing(4) == frozenset({4, 5})
+        assert result.component_containing(99) is None
+
+    def test_summary_mentions_algorithm(self):
+        result = VCCResult([{1, 2}], k=2, algorithm="RIPPLE")
+        assert "RIPPLE" in result.summary()
+        assert "1" in result.summary()
+
+    def test_empty_summary(self):
+        result = VCCResult([], k=3, algorithm="x")
+        assert "none" in result.summary()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        from repro.core import PhaseTimer
+
+        timer = PhaseTimer()
+        timer.add_seconds("seeding", 1.25)
+        timer.count("merges", 3)
+        result = VCCResult(
+            [{1, 2, 3}, {"a", "b"}], k=3, algorithm="RIPPLE", timer=timer
+        )
+        back = VCCResult.from_json(result.to_json())
+        assert back.components == result.components
+        assert back.k == 3
+        assert back.algorithm == "RIPPLE"
+        assert back.timer.seconds("seeding") == 1.25
+        assert back.timer.counter("merges") == 3
+
+    def test_bad_document_raises(self):
+        import pytest
+
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            VCCResult.from_json("{}")
+        with pytest.raises(ParseError):
+            VCCResult.from_json("not json")

@@ -1,0 +1,142 @@
+"""Tests for LkVCS, kBFS, clique seeding, and QkVCS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PhaseTimer,
+    clique_seeds,
+    kbfs_seeds,
+    lkvcs,
+    lkvcs_seeds,
+    qkvcs,
+)
+from repro.errors import ParameterError
+from repro.flow import is_k_vertex_connected
+from repro.graph import (
+    Graph,
+    circulant_graph,
+    clique_graph,
+    community_graph,
+    k_core,
+    planted_kvcc_graph,
+    random_gnm,
+)
+
+
+class TestLkvcs:
+    def test_finds_clique_seed(self):
+        g = clique_graph(5)
+        g.add_edge(0, 9)  # noise
+        seed = lkvcs(g, 3, 1)
+        assert seed is not None
+        assert is_k_vertex_connected(g.subgraph(seed), 3)
+        assert 1 in seed
+
+    def test_low_degree_start_rejected(self):
+        g = clique_graph(4)
+        g.add_edge(0, 9)
+        assert lkvcs(g, 3, 9) is None
+
+    def test_no_kvcs_in_ball(self):
+        g = circulant_graph(30, 1)  # plain cycle: nothing is 3-connected
+        assert lkvcs(g, 3, 0) is None
+
+    def test_alpha_caps_enumeration(self):
+        g = clique_graph(12)
+        timer = PhaseTimer()
+        lkvcs(g, 3, 0, alpha=5, timer=timer)
+        assert timer.counter("lkvcs_enumerations") <= 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            lkvcs(clique_graph(5), 1, 0)
+        with pytest.raises(ParameterError):
+            lkvcs(clique_graph(5), 3, 0, alpha=0)
+
+    def test_sweep_covers_clique_ring(self):
+        g = community_graph([24], k=3, seed=1)
+        seeds = lkvcs_seeds(g, 3)
+        covered = set().union(*seeds)
+        assert covered == g.vertex_set()
+        for seed in seeds:
+            assert is_k_vertex_connected(g.subgraph(seed), 3)
+
+    def test_sweep_respects_initial_coverage(self):
+        g = community_graph([20], k=3, seed=2)
+        seeds = lkvcs_seeds(g, 3, covered=g.vertex_set())
+        assert seeds == []
+
+
+class TestKbfsSeeds:
+    def test_seeds_verified_k_connected(self):
+        for seed_val in range(4):
+            g = planted_kvcc_graph(2, 18, 3, seed=seed_val, bridge_width=2)
+            for seed in kbfs_seeds(g, 3):
+                assert is_k_vertex_connected(g.subgraph(seed), 3)
+
+    def test_sparse_graph_no_seeds(self):
+        g = circulant_graph(20, 1)
+        assert kbfs_seeds(g, 3) == []
+
+    def test_splits_loose_components(self):
+        # Two communities joined by a thin bridge: even if kBFS lumps
+        # them into one forest component, verification splits them.
+        g = community_graph([14, 14], k=3, seed=5, bridge_width=2)
+        for seed in kbfs_seeds(g, 3):
+            assert is_k_vertex_connected(g.subgraph(seed), 3)
+
+
+class TestCliqueSeeds:
+    def test_finds_large_cliques(self):
+        g = clique_graph(6)
+        seeds = clique_seeds(g, 3)
+        assert seeds == [set(range(6))]
+
+    def test_none_below_threshold(self):
+        g = circulant_graph(12, 1)  # max clique 2
+        assert clique_seeds(g, 3) == []
+
+    def test_clique_ring_fully_covered(self):
+        g = circulant_graph(20, 4)  # every 5 consecutive = K5
+        covered = set().union(*clique_seeds(g, 4))
+        assert covered == g.vertex_set()
+
+
+class TestQkvcs:
+    def test_all_seeds_are_k_vcs(self):
+        g = planted_kvcc_graph(
+            3, 20, 3, seed=1, periphery_pairs=1, bridge_width=2
+        )
+        for seed in qkvcs(g, 3):
+            assert is_k_vertex_connected(g.subgraph(seed), 3)
+
+    def test_coverage_counters(self):
+        g = community_graph([24, 24], k=3, seed=0)
+        timer = PhaseTimer()
+        qkvcs(g, 3, timer=timer)
+        assert timer.counter("clique_covered") > 0
+        # every vertex is in a (k+1)-clique in a clique ring
+        assert timer.counter("clique_covered") == g.num_vertices
+
+    def test_no_duplicate_or_nested_seeds(self):
+        g = community_graph([20], k=3, seed=3)
+        seeds = qkvcs(g, 3)
+        for i, a in enumerate(seeds):
+            for j, b in enumerate(seeds):
+                if i != j:
+                    assert not a <= b
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            qkvcs(clique_graph(4), 1)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=8, deadline=None)
+    def test_random_graph_seeds_verified(self, seed_val):
+        g = k_core(random_gnm(30, 110, seed=seed_val), 3)
+        if g.num_vertices == 0:
+            return
+        for seed in qkvcs(g, 3):
+            assert is_k_vertex_connected(g.subgraph(seed), 3)

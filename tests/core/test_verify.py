@@ -1,0 +1,64 @@
+"""Tests for the exact component verification (connectivity + maximality)."""
+
+import pytest
+
+from repro.core import ripple, vcce_bu, vcce_td
+from repro.core.verify import verify_component, verify_result
+from repro.errors import ParameterError
+from repro.graph import (
+    clique_graph,
+    community_graph,
+    nbm_trap_graph,
+    ue_trap_graph,
+)
+
+
+class TestVerifyComponent:
+    def test_valid_maximal_component(self):
+        g = community_graph([16], k=3, seed=1)
+        report = verify_component(g, set(range(16)), 3)
+        assert report.is_k_connected
+        assert report.is_maximal
+        assert report.is_valid_kvcc
+        assert "OK" in report.describe()
+
+    def test_non_maximal_detected_with_missed_vertices(self):
+        g = ue_trap_graph(3, tail=3, seed=0)
+        core = set(range(6))  # valid 3-VCS but the tail is absorbable
+        report = verify_component(g, core, 3)
+        assert report.is_k_connected
+        assert not report.is_maximal
+        assert len(report.missed_vertices) == 6
+        assert "not maximal" in report.describe()
+
+    def test_disconnected_claim_fails(self):
+        g = nbm_trap_graph(4, seed=0)
+        fused = set(range(24))  # what NBM wrongly produces
+        report = verify_component(g, fused, 4)
+        assert not report.is_k_connected
+        assert not report.is_valid_kvcc
+        assert "not 4-vertex connected" in report.describe()
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            verify_component(clique_graph(4), {0, 1, 2}, 1)
+
+
+class TestVerifyResult:
+    def test_exact_output_always_verifies(self):
+        g = community_graph([14, 16], k=3, seed=4, periphery_pairs=1)
+        result = vcce_td(g, 3)
+        reports = verify_result(g, result)
+        assert all(r.is_valid_kvcc for r in reports)
+
+    def test_ripple_output_verifies_on_friendly_graphs(self):
+        g = community_graph([18, 18], k=3, seed=5, bridge_width=2)
+        reports = verify_result(g, ripple(g, 3))
+        assert all(r.is_valid_kvcc for r in reports)
+
+    def test_buggy_baseline_is_caught(self):
+        # VCCE-BU's NBM over-merge produces a component that fails the
+        # connectivity audit — precisely what verify exists to expose.
+        g = nbm_trap_graph(4, seed=0)
+        reports = verify_result(g, vcce_bu(g, 4))
+        assert any(not r.is_valid_kvcc for r in reports)

@@ -1,0 +1,46 @@
+"""Tests for the benchmark dataset registry."""
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, get_dataset
+from repro.errors import ParameterError
+from repro.graph import k_core
+
+
+class TestRegistry:
+    def test_ten_datasets_mirroring_the_paper(self):
+        assert len(DATASETS) == 10
+        mirrors = {d.mirrors for d in DATASETS.values()}
+        assert "uk-2005" in mirrors
+        assert "socfb-konect" in mirrors
+
+    def test_lookup(self):
+        assert get_dataset("ca-dblp").name == "ca-dblp"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ParameterError) as excinfo:
+            get_dataset("nope")
+        assert "ca-dblp" in str(excinfo.value)
+
+    def test_names_order(self):
+        assert dataset_names()[0] == "ca-condmat"
+
+    def test_builds_are_deterministic(self):
+        for dataset in DATASETS.values():
+            assert dataset.graph() == dataset.graph()
+
+    def test_every_dataset_has_content_at_every_k(self):
+        # Each (dataset, k) row of Table III must have a non-empty
+        # k-core, otherwise the accuracy row is vacuous.
+        for dataset in DATASETS.values():
+            graph = dataset.graph()
+            assert dataset.default_k in dataset.ks
+            for k in dataset.ks:
+                core = k_core(graph, k)
+                assert core.num_vertices > k, (dataset.name, k)
+
+    def test_sizes_stay_bench_friendly(self):
+        for dataset in DATASETS.values():
+            graph = dataset.graph()
+            assert 50 <= graph.num_vertices <= 2000, dataset.name
+            assert graph.num_edges <= 20000, dataset.name

@@ -1,0 +1,91 @@
+"""Tests for the Even–Tarjan reference flow engine."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.flow import Dinic, EvenTarjan
+
+
+class TestBasics:
+    def test_single_edge(self):
+        et = EvenTarjan(2)
+        et.add_edge(0, 1, 7)
+        assert et.max_flow(0, 1) == 7
+
+    def test_series_bottleneck(self):
+        et = EvenTarjan(3)
+        et.add_edge(0, 1, 5)
+        et.add_edge(1, 2, 2)
+        assert et.max_flow(0, 2) == 2
+
+    def test_cross_network_rerouting(self):
+        et = EvenTarjan(4)
+        for u, v in ((0, 1), (0, 2), (1, 2), (1, 3), (2, 3)):
+            et.add_edge(u, v, 1)
+        assert et.max_flow(0, 3) == 2
+
+    def test_cutoff(self):
+        et = EvenTarjan(2)
+        et.add_edge(0, 1, 100)
+        assert et.max_flow(0, 1, cutoff=6) == 6
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            EvenTarjan(-1)
+        et = EvenTarjan(2)
+        with pytest.raises(ParameterError):
+            et.add_edge(0, 5, 1)
+        with pytest.raises(ParameterError):
+            et.add_edge(0, 1, -1)
+        with pytest.raises(ParameterError):
+            et.max_flow(1, 1)
+
+    def test_min_cut_side(self):
+        et = EvenTarjan(3)
+        et.add_edge(0, 1, 1)
+        et.add_edge(1, 2, 5)
+        et.max_flow(0, 2)
+        side = et.min_cut_side(0)
+        assert 0 in side and 2 not in side
+
+
+def _random_network(seed: int, n: int = 10, m: int = 25):
+    import random
+
+    rng = random.Random(seed)
+    edges = []
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, rng.randint(1, 9)))
+    return n, edges
+
+
+class TestAgainstDinic:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_engines_agree(self, seed):
+        n, edges = _random_network(seed)
+        et = EvenTarjan(n)
+        dn = Dinic(n)
+        for u, v, c in edges:
+            et.add_edge(u, v, c)
+            dn.add_edge(u, v, c)
+        assert et.max_flow(0, n - 1) == dn.max_flow(0, n - 1)
+
+    def test_matches_networkx(self):
+        for seed in range(8):
+            n, edges = _random_network(seed, n=9, m=20)
+            et = EvenTarjan(n)
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(range(n))
+            for u, v, c in edges:
+                et.add_edge(u, v, c)
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["capacity"] += c
+                else:
+                    nxg.add_edge(u, v, capacity=c)
+            assert et.max_flow(0, n - 1) == nx.maximum_flow_value(nxg, 0, n - 1)

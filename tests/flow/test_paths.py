@@ -1,0 +1,97 @@
+"""Tests for vertex-disjoint path extraction (constructive Menger)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.flow import vertex_disjoint_paths
+from repro.graph import Graph, circulant_graph, clique_graph, random_gnm
+from tests.conftest import to_networkx
+
+
+def assert_valid_disjoint_paths(graph, paths, source, sink):
+    interior_seen = set()
+    for path in paths:
+        assert path[0] == source and path[-1] == sink
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b), (a, b)
+        interior = set(path[1:-1])
+        assert len(interior) == len(path) - 2  # simple path
+        assert not (interior & interior_seen), "paths share a vertex"
+        interior_seen |= interior
+
+
+class TestBasics:
+    def test_cycle_two_paths(self):
+        g = Graph.from_edges((i, (i + 1) % 6) for i in range(6))
+        paths = vertex_disjoint_paths(g, 0, 3)
+        assert len(paths) == 2
+        assert_valid_disjoint_paths(g, paths, 0, 3)
+
+    def test_adjacent_pair_includes_direct_edge(self):
+        g = clique_graph(5)
+        paths = vertex_disjoint_paths(g, 0, 1)
+        assert [0, 1] in paths
+        assert len(paths) == 4  # direct + 3 two-hop routes
+        assert_valid_disjoint_paths(g, paths, 0, 1)
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert vertex_disjoint_paths(g, 0, 3) == []
+
+    def test_limit(self):
+        g = clique_graph(6)
+        paths = vertex_disjoint_paths(g, 0, 5, limit=2)
+        assert len(paths) == 2
+        assert_valid_disjoint_paths(g, paths, 0, 5)
+
+    def test_limit_one_on_adjacent_pair(self):
+        g = clique_graph(4)
+        assert vertex_disjoint_paths(g, 0, 1, limit=1) == [[0, 1]]
+
+    def test_validation(self):
+        g = clique_graph(3)
+        with pytest.raises(ParameterError):
+            vertex_disjoint_paths(g, 0, 0)
+        with pytest.raises(ParameterError):
+            vertex_disjoint_paths(g, 0, 99)
+        with pytest.raises(ParameterError):
+            vertex_disjoint_paths(g, 0, 1, limit=0)
+
+    def test_does_not_mutate_graph(self):
+        g = clique_graph(4)
+        edges_before = set(map(frozenset, g.edges()))
+        vertex_disjoint_paths(g, 0, 1)
+        assert set(map(frozenset, g.edges())) == edges_before
+
+
+class TestAgainstConnectivity:
+    def test_circulant_count(self):
+        g = circulant_graph(12, 3)  # 6-connected
+        paths = vertex_disjoint_paths(g, 0, 6)
+        assert len(paths) == 6
+        assert_valid_disjoint_paths(g, paths, 0, 6)
+
+    @given(st.integers(min_value=0, max_value=800))
+    @settings(max_examples=20, deadline=None)
+    def test_count_matches_networkx_and_paths_valid(self, seed):
+        import networkx as nx
+
+        g = random_gnm(13, 30, seed=seed)
+        nxg = to_networkx(g)
+        pairs = [
+            (u, v)
+            for u in g.vertices()
+            for v in g.vertices()
+            if u < v
+        ][:8]
+        for u, v in pairs:
+            paths = vertex_disjoint_paths(g, u, v)
+            expected = nx.connectivity.local_node_connectivity(nxg, u, v)
+            if g.has_edge(u, v):
+                # networkx counts the direct edge as one path too
+                assert len(paths) == expected
+            else:
+                assert len(paths) == expected
+            assert_valid_disjoint_paths(g, paths, u, v)

@@ -1,0 +1,188 @@
+"""Unit tests for the adjacency-set Graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+def triangle() -> Graph:
+    return Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = Graph.from_edges([(1, 2)], vertices=[7, 8])
+        assert g.num_vertices == 4
+        assert g.degree(7) == 0
+
+    def test_copy_is_independent(self):
+        g = triangle()
+        clone = g.copy()
+        clone.add_edge(3, 4)
+        assert g.num_vertices == 3
+        assert clone.num_vertices == 4
+        assert g != clone
+
+    def test_copy_equal(self):
+        g = triangle()
+        assert g.copy() == g
+
+
+class TestMutation:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.has_vertex("a")
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+
+    def test_parallel_edge_is_noop(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 2
+        assert g.has_vertex(1)
+
+    def test_remove_missing_edge_raises(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 99)
+
+    def test_remove_vertex(self):
+        g = triangle()
+        g.remove_vertex(2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            triangle().remove_vertex(42)
+
+    def test_remove_vertices_bulk(self):
+        g = triangle()
+        g.remove_vertices([1, 2])
+        assert g.vertex_set() == {3}
+        assert g.num_edges == 0
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = triangle()
+        assert g.neighbors(1) == {2, 3}
+
+    def test_neighbors_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            triangle().neighbors(9)
+
+    def test_degree(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_average_degree(self):
+        assert triangle().average_degree() == pytest.approx(2.0)
+        assert Graph().average_degree() == 0.0
+
+    def test_min_degree(self):
+        g = Graph.from_edges([(1, 2), (1, 3)])
+        assert g.min_degree() == 1
+
+    def test_min_degree_empty_raises(self):
+        with pytest.raises(GraphError):
+            Graph().min_degree()
+
+    def test_edges_each_once(self):
+        g = triangle()
+        edges = {frozenset(e) for e in g.edges()}
+        assert edges == {
+            frozenset((1, 2)),
+            frozenset((2, 3)),
+            frozenset((1, 3)),
+        }
+        assert len(list(g.edges())) == 3
+
+    def test_dunders(self):
+        g = triangle()
+        assert 1 in g
+        assert 9 not in g
+        assert len(g) == 3
+        assert set(g) == {1, 2, 3}
+        assert "n=3" in repr(g)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)])
+        sub = g.subgraph({1, 2, 3})
+        assert sub.vertex_set() == {1, 2, 3}
+        assert sub.num_edges == 3
+
+    def test_subgraph_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            triangle().subgraph({1, 99})
+
+    def test_subgraph_is_detached(self):
+        g = triangle()
+        sub = g.subgraph({1, 2})
+        sub.add_edge(2, 5)
+        assert not g.has_vertex(5)
+
+    def test_empty_subgraph(self):
+        sub = triangle().subgraph(set())
+        assert sub.num_vertices == 0
+
+
+class TestBoundaries:
+    def test_boundary(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert g.boundary({1, 2}) == {2}
+        assert g.boundary({1, 2, 3, 4}) == set()
+
+    def test_external_boundary(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert g.external_boundary({1, 2}) == {3}
+        assert g.external_boundary({2, 3}) == {1, 4}
+
+    def test_neighbors_in(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert g.neighbors_in(1, {2, 4, 9}) == {2, 4}
+
+    def test_neighborhood_hops(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 5)])
+        assert g.neighborhood([1], 0) == {1}
+        assert g.neighborhood([1], 1) == {1, 2}
+        assert g.neighborhood([1], 2) == {1, 2, 3}
+        assert g.neighborhood([1, 5], 1) == {1, 2, 4, 5}
+
+    def test_neighborhood_negative_hops_raises(self):
+        with pytest.raises(GraphError):
+            triangle().neighborhood([1], -1)
+
+    def test_neighborhood_missing_seed_raises(self):
+        with pytest.raises(GraphError):
+            triangle().neighborhood([42], 1)

@@ -1,0 +1,101 @@
+"""Stateful property testing of the Graph class.
+
+Hypothesis drives random sequences of mutations against a shadow model
+(a set of frozenset edges) and checks the structural invariants after
+every step: edge symmetry, consistent counts, degree/neighbour
+agreement. This is the strongest guard on the data structure that
+everything else in the library stands on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+labels = st.integers(min_value=0, max_value=30)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_edges: set[frozenset] = set()
+        self.model_vertices: set[int] = set()
+
+    @rule(u=labels)
+    def add_vertex(self, u):
+        self.graph.add_vertex(u)
+        self.model_vertices.add(u)
+
+    @rule(u=labels, v=labels)
+    def add_edge(self, u, v):
+        if u == v:
+            try:
+                self.graph.add_edge(u, v)
+            except GraphError:
+                return
+            raise AssertionError("self-loop accepted")
+        self.graph.add_edge(u, v)
+        self.model_edges.add(frozenset((u, v)))
+        self.model_vertices.update((u, v))
+
+    @rule(u=labels, v=labels)
+    def remove_edge(self, u, v):
+        key = frozenset((u, v))
+        if key in self.model_edges:
+            self.graph.remove_edge(u, v)
+            self.model_edges.discard(key)
+        else:
+            try:
+                self.graph.remove_edge(u, v)
+            except GraphError:
+                return
+            raise AssertionError("removing a missing edge succeeded")
+
+    @rule(u=labels)
+    def remove_vertex(self, u):
+        if u in self.model_vertices:
+            self.graph.remove_vertex(u)
+            self.model_vertices.discard(u)
+            self.model_edges = {
+                e for e in self.model_edges if u not in e
+            }
+        else:
+            try:
+                self.graph.remove_vertex(u)
+            except GraphError:
+                return
+            raise AssertionError("removing a missing vertex succeeded")
+
+    @rule()
+    def copy_detaches(self):
+        clone = self.graph.copy()
+        assert clone == self.graph
+        probe = max(self.model_vertices, default=0) + 100
+        clone.add_vertex(probe)
+        assert not self.graph.has_vertex(probe)
+
+    @invariant()
+    def counts_match_model(self):
+        assert self.graph.num_vertices == len(self.model_vertices)
+        assert self.graph.num_edges == len(self.model_edges)
+
+    @invariant()
+    def edges_match_model(self):
+        seen = {frozenset(e) for e in self.graph.edges()}
+        assert seen == self.model_edges
+
+    @invariant()
+    def adjacency_symmetric(self):
+        for u in self.graph.vertices():
+            for v in self.graph.neighbors(u):
+                assert u in self.graph.neighbors(v)
+            assert self.graph.degree(u) == len(self.graph.neighbors(u))
+
+
+GraphMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestGraphStateful = GraphMachine.TestCase

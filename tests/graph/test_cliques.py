@@ -1,0 +1,82 @@
+"""Tests for Bron–Kerbosch maximal clique enumeration."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import (
+    Graph,
+    clique_graph,
+    max_clique_size,
+    maximal_cliques,
+    maximal_cliques_at_least,
+    random_gnm,
+)
+from tests.conftest import to_networkx
+
+
+def nx_maximal_cliques(graph: Graph) -> set[frozenset]:
+    return {frozenset(c) for c in nx.find_cliques(to_networkx(graph))}
+
+
+class TestMaximalCliques:
+    def test_single_clique(self):
+        g = clique_graph(5)
+        assert set(maximal_cliques(g)) == {frozenset(range(5))}
+
+    def test_triangle_plus_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        cliques = set(maximal_cliques(g))
+        assert cliques == {frozenset({0, 1, 2}), frozenset({2, 3})}
+
+    def test_empty_graph(self):
+        assert list(maximal_cliques(Graph())) == []
+
+    def test_isolated_vertices_are_trivial_cliques(self):
+        g = Graph.from_edges([], vertices=[1, 2])
+        assert set(maximal_cliques(g)) == {frozenset({1}), frozenset({2})}
+
+    def test_no_duplicates(self):
+        g = random_gnm(25, 100, seed=11)
+        found = list(maximal_cliques(g))
+        assert len(found) == len(set(found))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, seed):
+        g = random_gnm(20, 60, seed=seed)
+        assert set(maximal_cliques(g)) == nx_maximal_cliques(g)
+
+
+class TestSizeFiltered:
+    def test_min_size_filter(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert set(maximal_cliques_at_least(g, 3)) == {frozenset({0, 1, 2})}
+
+    def test_filter_matches_postfilter(self):
+        for seed in range(5):
+            g = random_gnm(22, 80, seed=seed)
+            full = {c for c in nx_maximal_cliques(g) if len(c) >= 4}
+            assert set(maximal_cliques_at_least(g, 4)) == full
+
+    def test_invalid_min_size_raises(self):
+        with pytest.raises(ParameterError):
+            list(maximal_cliques_at_least(Graph(), 0))
+
+
+class TestMaxCliqueSize:
+    def test_known_sizes(self):
+        assert max_clique_size(clique_graph(6)) == 6
+        assert max_clique_size(Graph()) == 0
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert max_clique_size(g) == 2
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = random_gnm(20, 70, seed=seed)
+            expected = max(
+                (len(c) for c in nx.find_cliques(to_networkx(g))), default=0
+            )
+            assert max_clique_size(g) == expected

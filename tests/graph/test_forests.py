@@ -1,0 +1,124 @@
+"""Tests for k-round BFS forests (kBFS seeding, paper Lemma 4)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ParameterError
+from repro.flow import is_k_vertex_connected
+from repro.graph import (
+    Graph,
+    bfs_forest,
+    circulant_graph,
+    clique_graph,
+    community_graph,
+    k_bfs_forests,
+    k_bfs_seed_components,
+    random_gnm,
+)
+from repro.graph.forests import sparse_certificate
+from tests.conftest import to_networkx
+
+
+class TestBfsForest:
+    def test_forest_spans_connected_graph(self):
+        g = random_gnm(20, 50, seed=1)
+        forest = bfs_forest(g, forbidden_edges=set())
+        assert len(forest) == g.num_vertices - 1  # spanning tree
+
+    def test_forest_covers_components(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)])
+        forest = bfs_forest(g, forbidden_edges=set())
+        assert len(forest) == 3  # n - #components = 5 - 2
+
+
+class TestKBfsForests:
+    def test_forests_edge_disjoint(self):
+        g = random_gnm(25, 120, seed=2)
+        forests = k_bfs_forests(g, 3)
+        seen: set = set()
+        for forest in forests:
+            for e in forest:
+                key = frozenset(e)
+                assert key not in seen
+                seen.add(key)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            k_bfs_forests(Graph(), 0)
+
+    def test_forest_count(self):
+        g = clique_graph(6)
+        assert len(k_bfs_forests(g, 4)) == 4
+
+
+class TestSeedComponents:
+    def test_clique_yields_seed(self):
+        # K6 has 5 edge-disjoint spanning trees; components of F_3 that
+        # survive must induce 3-vertex connected subgraphs.
+        g = clique_graph(8)
+        for comp in k_bfs_seed_components(g, 3):
+            assert is_k_vertex_connected(g.subgraph(comp), 3)
+
+    def test_seeds_are_k_connected_in_induced_graph(self):
+        g = community_graph([12, 12], k=3, seed=5, extra_edge_prob=0.4)
+        for comp in k_bfs_seed_components(g, 3):
+            # Lemma 4 guarantees k-connectivity using edges of G; our
+            # seeding additionally verifies induced connectivity before
+            # trusting a seed, so here we only require the weaker claim.
+            assert len(comp) >= 4
+
+    def test_sparse_graph_yields_nothing(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert k_bfs_seed_components(g, 3) == []
+
+    def test_dense_circulant_seed_found(self):
+        g = circulant_graph(20, 4)  # 8-regular, 8-connected
+        comps = k_bfs_seed_components(g, 3)
+        assert comps, "a dense circulant should yield at least one seed"
+
+
+class TestSparseCertificate:
+    def test_subgraph_of_original(self):
+        g = random_gnm(30, 140, seed=6)
+        cert = sparse_certificate(g, 3)
+        assert cert.vertex_set() == g.vertex_set()
+        for u, v in cert.edges():
+            assert g.has_edge(u, v)
+
+    def test_edge_bound(self):
+        g = clique_graph(20)
+        for k in (2, 3, 5):
+            cert = sparse_certificate(g, k)
+            assert cert.num_edges <= k * (g.num_vertices - 1)
+
+    def test_preserves_k_connectivity_decision(self):
+        # CKT property at the whole-graph level: the certificate is
+        # k-vertex connected iff the original graph is.
+        for seed in range(8):
+            g = random_gnm(16, 60, seed=seed)
+            for k in (2, 3):
+                cert = sparse_certificate(g, k)
+                ours = is_k_vertex_connected(cert, k)
+                truth = is_k_vertex_connected(g, k)
+                assert ours == truth, (seed, k)
+
+    def test_small_cut_of_certificate_cuts_original(self):
+        from repro.flow import find_vertex_cut
+        from repro.graph import component_of
+
+        for seed in range(6):
+            g = community_graph([12, 12], k=3, seed=seed, bridge_width=2)
+            cert = sparse_certificate(g, 3)
+            cut = find_vertex_cut(cert, 3, certificate=False)
+            assert cut is not None
+            rest = g.vertex_set() - cut
+            sub = g.subgraph(rest)
+            anchor = next(iter(rest))
+            assert component_of(sub, anchor) != rest
+
+    def test_preserves_connectivity(self):
+        g = random_gnm(25, 80, seed=2)
+        cert = sparse_certificate(g, 4)
+        assert nx.number_connected_components(
+            to_networkx(cert)
+        ) == nx.number_connected_components(to_networkx(g))

@@ -1,0 +1,80 @@
+"""Tests for edge-list parsing and round-tripping."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph import (
+    Graph,
+    parse_edge_list,
+    random_gnm,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_list(["1 2", "2 3"])
+        assert g.num_vertices == 3
+        assert g.has_edge(1, 2)
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list(["# header", "", "% other", "1 2"])
+        assert g.num_edges == 1
+
+    def test_extra_columns_ignored(self):
+        g = parse_edge_list(["1 2 0.5 whatever"])
+        assert g.has_edge(1, 2)
+
+    def test_string_labels(self):
+        g = parse_edge_list(["alice bob"])
+        assert g.has_edge("alice", "bob")
+
+    def test_mixed_numeric_coercion(self):
+        g = parse_edge_list(["007 42"])
+        assert g.has_edge(7, 42)
+
+    def test_bare_label_declares_isolated_vertex(self):
+        g = parse_edge_list(["1 2", "7"])
+        assert g.has_vertex(7)
+        assert g.degree(7) == 0
+
+    def test_self_loop_rejected_by_default(self):
+        with pytest.raises(ParseError):
+            parse_edge_list(["3 3"])
+
+    def test_self_loop_dropped_when_allowed(self):
+        g = parse_edge_list(["3 3", "3 4"], allow_self_loops=True)
+        assert g.num_edges == 1
+        assert g.has_vertex(3)
+
+    def test_parallel_edges_collapse(self):
+        g = parse_edge_list(["1 2", "2 1", "1 2"])
+        assert g.num_edges == 1
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = random_gnm(20, 40, seed=9)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_isolated_vertices_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(1, 2)], vertices=[9, "lonely"])
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_write_is_stable(self, tmp_path):
+        g = random_gnm(15, 30, seed=1)
+        p1, p2 = tmp_path / "a.txt", tmp_path / "b.txt"
+        write_edge_list(g, p1)
+        write_edge_list(g, p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_edge_list(Graph(), path)
+        assert read_edge_list(path).num_vertices == 0

@@ -1,0 +1,69 @@
+"""Tests for descriptive graph statistics."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    average_clustering,
+    circulant_graph,
+    clique_graph,
+    community_graph,
+    degree_histogram,
+    density,
+    powerlaw_cluster_graph,
+    random_gnm,
+    triangle_count,
+)
+from tests.conftest import to_networkx
+
+
+class TestBasics:
+    def test_degree_histogram(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+    def test_triangle_count_known(self):
+        assert triangle_count(clique_graph(4)) == 4
+        assert triangle_count(circulant_graph(10, 1)) == 0
+
+    def test_clustering_known(self):
+        assert average_clustering(clique_graph(5)) == pytest.approx(1.0)
+        assert average_clustering(circulant_graph(10, 1)) == 0.0
+        assert average_clustering(Graph()) == 0.0
+
+    def test_density(self):
+        assert density(clique_graph(6)) == pytest.approx(1.0)
+        assert density(Graph.from_edges([], vertices=[1])) == 0.0
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=600))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, seed):
+        g = random_gnm(20, 60, seed=seed)
+        nxg = to_networkx(g)
+        assert triangle_count(g) == sum(nx.triangles(nxg).values()) // 3
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(nxg)
+        )
+        assert density(g) == pytest.approx(nx.density(nxg))
+
+
+class TestDatasetTextureClaims:
+    """The stand-ins really have the texture DESIGN.md claims."""
+
+    def test_clique_ring_is_triangle_rich(self):
+        g = community_graph([30], k=4, seed=1)
+        assert average_clustering(g) > 0.5
+
+    def test_minimal_circulant_is_triangle_poor(self):
+        g = community_graph([30], k=4, seed=1, style="circulant")
+        assert average_clustering(g) < 0.5
+
+    def test_powerlaw_has_heavy_tail(self):
+        g = powerlaw_cluster_graph(150, attach=3, triangle_prob=0.6, seed=3)
+        hist = degree_histogram(g)
+        assert max(hist) > 4 * (2 * g.num_edges / g.num_vertices)

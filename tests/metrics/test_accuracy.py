@@ -1,0 +1,99 @@
+"""Tests for F_same and J_Index accuracy metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import accuracy_report, f_same, j_index
+
+
+class TestFSame:
+    def test_identical_results(self):
+        comps = [{1, 2, 3}, {4, 5, 6}]
+        assert f_same(comps, comps) == 1.0
+
+    def test_both_empty(self):
+        assert f_same([], []) == 1.0
+
+    def test_one_empty(self):
+        assert f_same([], [{1, 2}]) == 0.0
+        assert f_same([{1, 2}], []) == 0.0
+
+    def test_disjoint_results(self):
+        assert f_same([{1, 2}], [{3, 4}]) == 0.0
+
+    def test_partial_detection(self):
+        # Detected half of the single true community.
+        truth = [set(range(10))]
+        detected = [set(range(5))]
+        # raw = .5*5 + .5*5 = 5; perfect = .5*5 + .5*10 = 7.5
+        assert f_same(detected, truth) == pytest.approx(5 / 7.5)
+
+    def test_fragmentation_penalised(self):
+        truth = [set(range(10))]
+        shattered = [set(range(0, 5)), set(range(5, 10))]
+        merged = [set(range(10))]
+        assert f_same(shattered, truth) < f_same(merged, truth)
+
+    def test_symmetric(self):
+        a = [{1, 2, 3}, {4, 5}]
+        b = [{1, 2}, {3, 4, 5}]
+        assert f_same(a, b) == pytest.approx(f_same(b, a))
+
+
+class TestJIndex:
+    def test_identical(self):
+        comps = [{1, 2, 3}]
+        assert j_index(comps, comps) == 1.0
+
+    def test_no_pairs_anywhere(self):
+        assert j_index([], []) == 1.0
+        assert j_index([{1}], [{2}]) == 1.0  # singletons have no pairs
+
+    def test_disjoint(self):
+        assert j_index([{1, 2}], [{3, 4}]) == 0.0
+
+    def test_overmerge_penalised_quadratically(self):
+        # Fusing two 10-communities creates 100 false pairs: J craters.
+        truth = [set(range(10)), set(range(10, 20))]
+        merged = [set(range(20))]
+        value = j_index(merged, truth)
+        true_pairs = 2 * (10 * 9 // 2)
+        all_pairs = 20 * 19 // 2
+        assert value == pytest.approx(true_pairs / all_pairs)
+        assert value < 0.5
+
+    def test_missing_community_undetected(self):
+        # The documented blind spot: J cannot see missing communities
+        # if the detected one is perfect... but missing pairs do count.
+        truth = [{1, 2, 3}, {4, 5, 6}]
+        detected = [{1, 2, 3}]
+        assert j_index(detected, truth) == pytest.approx(3 / 6)
+
+    def test_overlapping_components_pairs_counted_once(self):
+        detected = [{1, 2, 3}, {2, 3, 4}]
+        truth = [{1, 2, 3, 4}]
+        # detected pairs: {12,13,23,24,34} (23 counted once) = 5 of 6
+        assert j_index(detected, truth) == pytest.approx(5 / 6)
+
+
+class TestReportAndProperties:
+    def test_report_keys_percent(self):
+        report = accuracy_report([{1, 2}], [{1, 2}])
+        assert report == {"F_same": 100.0, "J_Index": 100.0}
+
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=20), min_size=2),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_bounded_and_reflexive(self, comps):
+        assert f_same(comps, comps) == pytest.approx(1.0)
+        assert j_index(comps, comps) == pytest.approx(1.0)
+        other = [{99, 100}]
+        for metric in (f_same, j_index):
+            value = metric(comps, other)
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,71 @@
+"""Tests for the parallel RIPPLE executor."""
+
+import pytest
+
+from repro.core import ripple, vcce_td
+from repro.errors import ParameterError
+from repro.graph import Graph, community_graph, nbm_trap_graph, planted_kvcc_graph
+from repro.parallel import ParallelConfig, parallel_ripple
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.workers == 2
+        assert config.backend == "process"
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ParameterError):
+            ParallelConfig(backend="gpu")
+
+
+class TestThreadBackend:
+    """Thread backend: no pickling, exercises the decomposition logic."""
+
+    def test_matches_sequential_components(self):
+        g = planted_kvcc_graph(
+            2, 24, 3, seed=3, periphery_pairs=1, bridge_width=2
+        )
+        sequential = set(ripple(g, 3).components)
+        config = ParallelConfig(workers=3, backend="thread")
+        parallel = set(parallel_ripple(g, 3, config).components)
+        assert parallel == sequential
+
+    def test_matches_exact_on_planted(self):
+        g = community_graph([20, 22], k=3, seed=5, bridge_width=2)
+        config = ParallelConfig(workers=2, backend="thread")
+        result = parallel_ripple(g, 3, config)
+        assert set(result.components) == set(vcce_td(g, 3).components)
+
+    def test_refuses_nbm_trap(self):
+        g = nbm_trap_graph(4, seed=1)
+        config = ParallelConfig(workers=2, backend="thread")
+        assert parallel_ripple(g, 4, config).num_components == 2
+
+    def test_empty_graph(self):
+        config = ParallelConfig(workers=2, backend="thread")
+        assert parallel_ripple(Graph(), 3, config).components == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            parallel_ripple(Graph(), 1, ParallelConfig(backend="thread"))
+
+    def test_algorithm_name_mentions_backend(self):
+        g = community_graph([16], k=3, seed=1)
+        config = ParallelConfig(workers=4, backend="thread")
+        result = parallel_ripple(g, 3, config)
+        assert "thread" in result.algorithm
+        assert "4" in result.algorithm
+
+
+class TestProcessBackend:
+    """Process backend: real parallelism; kept small for test speed."""
+
+    def test_matches_sequential_components(self):
+        g = community_graph([18, 18], k=3, seed=9, bridge_width=2)
+        sequential = set(ripple(g, 3).components)
+        config = ParallelConfig(workers=2, backend="process")
+        parallel = set(parallel_ripple(g, 3, config).components)
+        assert parallel == sequential

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import community_graph, write_edge_list
+
+
+@pytest.fixture
+def edge_list(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(community_graph([10, 10], k=3, seed=0), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_enumerate_args(self):
+        args = build_parser().parse_args(
+            ["enumerate", "g.txt", "-k", "3", "--algorithm", "vcce-td"]
+        )
+        assert args.k == 3
+        assert args.algorithm == "vcce-td"
+
+
+class TestEnumerate:
+    def test_default_algorithm(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RIPPLE" in out
+        assert "component 1" in out
+        assert "component 2" in out
+
+    def test_quiet(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "component" not in out
+
+    def test_exact_algorithm(self, edge_list, capsys):
+        assert (
+            main(
+                ["enumerate", edge_list, "-k", "3", "--algorithm", "vcce-td"]
+            )
+            == 0
+        )
+        assert "VCCE-TD" in capsys.readouterr().out
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["enumerate", "/nonexistent", "-k", "3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_k_is_reported(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-dblp" in out
+        assert "socfb-konect" in out
+
+
+class TestBench:
+    def test_fig9_runs(self, capsys):
+        assert main(["bench", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "seeding" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "table99"])
+
+
+class TestVerifyCommand:
+    def test_verify_good_result(self, edge_list, tmp_path, capsys):
+        json_path = str(tmp_path / "result.json")
+        assert (
+            main(["enumerate", edge_list, "-k", "3", "--quiet",
+                  "--json", json_path])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["verify", edge_list, json_path]) == 0
+        out = capsys.readouterr().out
+        assert "all components verified" in out
+        assert out.count("OK") == 2
+
+    def test_verify_catches_bogus_component(self, edge_list, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(
+            '{"algorithm": "fake", "k": 3,'
+            ' "components": [[0, 1, 2, 10, 11]]}',
+            encoding="utf-8",
+        )
+        assert main(["verify", edge_list, str(bogus)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_verify_bad_json_reports_error(self, edge_list, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        assert main(["verify", edge_list, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = str(tmp_path / "uk.txt")
+        assert main(["generate", "uk-2005", "-o", out]) == 0
+        assert "165 vertices" in capsys.readouterr().out
+        from repro.graph import read_edge_list
+
+        g = read_edge_list(out)
+        assert g.num_vertices == 165
+
+    def test_generate_planted(self, tmp_path, capsys):
+        out = str(tmp_path / "planted.txt")
+        assert (
+            main(
+                ["generate", "planted", "-o", out, "--communities", "2",
+                 "--size", "12", "-k", "3", "--seed", "5"]
+            )
+            == 0
+        )
+        from repro.graph import read_edge_list
+
+        assert read_edge_list(out).num_vertices == 24
+
+    def test_generate_unknown_dataset(self, tmp_path, capsys):
+        assert main(["generate", "nope", "-o", str(tmp_path / "x")]) == 2
+        assert "error" in capsys.readouterr().err

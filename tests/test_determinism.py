@@ -1,0 +1,48 @@
+"""Cross-process determinism: results survive hash randomisation.
+
+The algorithms iterate Python sets in several places, and set order
+depends on PYTHONHASHSEED for str labels. The benchmark claims
+("benches are deterministic") require that the *outputs* — components
+and accuracy numbers — do not. This test runs an enumeration in fresh
+subprocesses under different hash seeds and compares the JSON results.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+_SNIPPET = """
+import json
+from repro.core import ripple, vcce_td, vcce_bu
+from repro.datasets import DATASETS
+
+dataset = DATASETS["sc-shipsec"]
+graph = dataset.graph()
+k = dataset.default_k
+out = {}
+for label, algo in (("ripple", ripple), ("td", vcce_td), ("bu", vcce_bu)):
+    result = algo(graph, k)
+    out[label] = sorted(sorted(map(str, c)) for c in result.components)
+print(json.dumps(out))
+"""
+
+
+def _run(hash_seed: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.slow
+def test_results_stable_across_hash_seeds():
+    first = _run("0")
+    second = _run("12345")
+    assert first == second

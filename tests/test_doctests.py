@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in module and API docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# importlib avoids attribute shadowing: ``repro.core.ripple`` the module
+# is hidden behind ``repro.core.ripple`` the function after package init.
+MODULE_NAMES = [
+    "repro.core.hierarchy",
+    "repro.core.result",
+    "repro.core.ripple",
+    "repro.flow.paths",
+    "repro.graph.adjacency",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctest examples"
+    assert result.failed == 0

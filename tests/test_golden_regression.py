@@ -1,0 +1,54 @@
+"""Golden regression tests: pinned end-to-end numbers per dataset.
+
+Everything in this repository is deterministic (seeded generators, no
+randomness in the algorithms), so the exact component counts and
+accuracy scores at each dataset's default k are stable facts of the
+codebase. Pinning them catches silent behaviour drift anywhere in the
+stack — a changed generator, a changed expansion rule, a changed
+metric — that the property tests might tolerate.
+
+If a deliberate change shifts these numbers, regenerate the table with
+the snippet in this file's git history (or the bench harness) and
+update the constants *together with* the EXPERIMENTS.md narrative.
+"""
+
+import pytest
+
+from repro.core import ripple, vcce_bu, vcce_td
+from repro.datasets import DATASETS
+from repro.metrics import accuracy_report
+
+# (dataset, default_k, exact components,
+#  RIPPLE F_same, RIPPLE J_Index, VCCE-BU F_same, VCCE-BU J_Index)
+GOLDEN = [
+    ("ca-condmat", 4, 7, 91.01, 87.86, 90.19, 85.46),
+    ("uk-2005", 7, 3, 100.0, 100.0, 100.0, 100.0),
+    ("arabic-2005", 4, 4, 100.0, 100.0, 100.0, 100.0),
+    ("sc-shipsec", 4, 4, 100.0, 100.0, 63.66, 26.25),
+    ("ca-citeseer", 4, 6, 92.53, 89.28, 92.05, 87.94),
+    ("ca-dblp", 4, 5, 95.3, 89.01, 93.56, 84.14),
+    ("ca-mathscinet", 4, 3, 52.54, 2.87, 52.54, 2.87),
+    ("it-2004", 6, 2, 100.0, 100.0, 100.0, 100.0),
+    ("cit-patent", 4, 1, 99.33, 97.37, 98.66, 94.78),
+    ("socfb-konect", 4, 2, 100.0, 100.0, 80.17, 50.41),
+]
+
+
+@pytest.mark.parametrize(
+    "name,k,td_count,rp_f,rp_j,bu_f,bu_j",
+    GOLDEN,
+    ids=[row[0] for row in GOLDEN],
+)
+def test_golden_accuracy(name, k, td_count, rp_f, rp_j, bu_f, bu_j):
+    dataset = DATASETS[name]
+    assert dataset.default_k == k
+    graph = dataset.graph()
+    exact = vcce_td(graph, k)
+    assert exact.num_components == td_count
+
+    rp = accuracy_report(ripple(graph, k).components, exact.components)
+    bu = accuracy_report(vcce_bu(graph, k).components, exact.components)
+    assert rp["F_same"] == pytest.approx(rp_f, abs=0.01)
+    assert rp["J_Index"] == pytest.approx(rp_j, abs=0.01)
+    assert bu["F_same"] == pytest.approx(bu_f, abs=0.01)
+    assert bu["J_Index"] == pytest.approx(bu_j, abs=0.01)

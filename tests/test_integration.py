@@ -1,0 +1,152 @@
+"""Cross-module integration tests: all algorithms against each other.
+
+The library's deepest invariants, exercised end-to-end on randomized
+graphs:
+
+* VCCE-TD output is exactly the set of maximal k-VCSs (sound, maximal,
+  pairwise non-nested);
+* every heuristic's output is sound (k-connected) except VCCE-BU's
+  documented NBM defect;
+* every heuristic component is contained in some exact component
+  (heuristics can under-cover, never invent cross-community structure);
+* RIPPLE coverage ⊇ VCCE-BU coverage up to trap structures;
+* F_same/J_Index of the exact result against itself is 100%.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ripple, ripple_me, vcce_bu, vcce_td
+from repro.core.verify import verify_result
+from repro.flow import is_k_vertex_connected
+from repro.graph import (
+    k_core,
+    mixed_community_graph,
+    planted_kvcc_graph,
+    powerlaw_cluster_graph,
+    random_gnm,
+)
+from repro.graph.generators import CommunitySpec
+from repro.metrics import accuracy_report
+
+
+def random_test_graph(seed: int):
+    """A deterministic family mixing the structural ingredients."""
+    kind = seed % 3
+    if kind == 0:
+        return planted_kvcc_graph(
+            2, 18, 3, seed=seed, periphery_pairs=1, bridge_width=2,
+            noise_vertices=4,
+        )
+    if kind == 1:
+        return random_gnm(26, 95, seed=seed)
+    return powerlaw_cluster_graph(40, attach=3, triangle_prob=0.6, seed=seed)
+
+
+class TestExactOracleInvariants:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=12, deadline=None)
+    def test_td_components_are_valid_maximal_kvccs(self, seed):
+        graph = random_test_graph(seed)
+        result = vcce_td(graph, 3)
+        reports = verify_result(graph, result)
+        assert all(r.is_valid_kvcc for r in reports), [
+            r.describe() for r in reports
+        ]
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=12, deadline=None)
+    def test_td_components_pairwise_nonnested(self, seed):
+        graph = random_test_graph(seed)
+        comps = vcce_td(graph, 3).components
+        for a in comps:
+            for b in comps:
+                if a is not b:
+                    assert not a <= b
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=8, deadline=None)
+    def test_td_covers_every_kvcs_vertex(self, seed):
+        # Any vertex of the k-core that lies in SOME k-VCS must be
+        # covered; conversely covered vertices lie in the k-core.
+        graph = random_test_graph(seed)
+        k = 3
+        result = vcce_td(graph, k)
+        covered = result.covered_vertices()
+        core = k_core(graph, k).vertex_set()
+        assert covered <= core
+
+
+class TestHeuristicsAgainstOracle:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_ripple_components_inside_exact_components(self, seed):
+        graph = random_test_graph(seed)
+        k = 3
+        exact = vcce_td(graph, k).components
+        for comp in ripple(graph, k).components:
+            assert any(
+                comp <= exact_comp for exact_comp in exact
+            ), f"component {sorted(comp, key=repr)} crosses exact boundaries"
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_ripple_output_sound(self, seed):
+        graph = random_test_graph(seed)
+        for comp in ripple(graph, 3).components:
+            assert is_k_vertex_connected(graph.subgraph(comp), 3)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=6, deadline=None)
+    def test_ripple_me_dominates_ripple(self, seed):
+        graph = random_test_graph(seed)
+        exact = vcce_td(graph, 3)
+        rp = accuracy_report(
+            ripple(graph, 3).components, exact.components
+        )
+        me = accuracy_report(
+            ripple_me(graph, 3, hops=1).components, exact.components
+        )
+        assert me["F_same"] >= rp["F_same"] - 1e-9
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=8, deadline=None)
+    def test_self_accuracy_is_perfect(self, seed):
+        graph = random_test_graph(seed)
+        exact = vcce_td(graph, 3)
+        report = accuracy_report(exact.components, exact.components)
+        assert report == {"F_same": 100.0, "J_Index": 100.0}
+
+
+class TestMixedBuildGraphs:
+    def test_all_algorithms_on_mixed_specs(self):
+        specs = [
+            CommunitySpec(size=20, k=3, periphery_pairs=1),
+            CommunitySpec(size=24, k=4, mixed_chains=1),
+            CommunitySpec(size=22, k=3, periphery_pairs=1, mixed_chains=1),
+        ]
+        graph = mixed_community_graph(specs, seed=31, bridge_width=2)
+        for k in (3, 4):
+            exact = vcce_td(graph, k)
+            for algorithm in (ripple, vcce_bu):
+                result = algorithm(graph, k)
+                report = accuracy_report(
+                    result.components, exact.components
+                )
+                assert 0.0 <= report["F_same"] <= 100.0
+            rp = accuracy_report(
+                ripple(graph, k).components, exact.components
+            )
+            bu = accuracy_report(
+                vcce_bu(graph, k).components, exact.components
+            )
+            assert rp["F_same"] >= bu["F_same"] - 1e-9
+
+    def test_exact_at_multiple_k_is_monotone(self):
+        # Every (k+1)-VCC is contained in some k-VCC.
+        graph = planted_kvcc_graph(2, 20, 4, seed=17, bridge_width=2)
+        lower = vcce_td(graph, 3).components
+        higher = vcce_td(graph, 4).components
+        for comp in higher:
+            assert any(comp <= low for low in lower)
