@@ -4,25 +4,53 @@ Each benchmark regenerates one table or figure of the paper's
 evaluation section. The rendered text lands in ``benchmarks/results/``
 (one file per experiment) and is echoed to stdout, while
 pytest-benchmark records the wall-clock of the underlying computation.
+
+Every benchmark additionally runs under a live :mod:`repro.obs`
+collector (the ``bench_collector`` autouse fixture), and ``emit``
+writes a machine-readable ``results/<name>.json`` next to each table:
+the ``repro.obs/1`` counter/phase payload plus the experiment name, so
+benchmark trajectories carry per-phase counter columns alongside the
+timings.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def bench_collector():
+    """Collect repro.obs counters for the duration of each benchmark."""
+    with obs.collecting() as collector:
+        yield collector
+
+
 @pytest.fixture
-def emit():
-    """Write an experiment's rendered table to results/ and stdout."""
+def emit(bench_collector):
+    """Write an experiment's rendered table to results/ and stdout.
+
+    Also dumps ``results/<name>.json``: the experiment name plus the
+    counters and phase seconds the run accumulated so far.
+    """
 
     def _emit(name: str, text: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
-        print(f"\n{text}\n[written to {path}]")
+        payload = json.loads(bench_collector.to_json())
+        payload["experiment"] = name
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n{text}\n[written to {path} and {json_path}]")
 
     return _emit

@@ -20,7 +20,6 @@ from repro.core.pipeline import bottom_up_pipeline
 from repro.core.ripple import ripple_me
 from repro.datasets import DATASETS
 from repro.flow import VertexSplitNetwork, find_vertex_cut
-from repro.graph import community_graph
 from repro.metrics import accuracy_report
 
 

@@ -8,12 +8,13 @@ here is deterministic given the dataset registry.
 
 from __future__ import annotations
 
+import json
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
+from repro import obs
 from repro.bench.memory import measure_peak_memory
-from repro.core.pipeline import bottom_up_pipeline
-from repro.core.result import PhaseTimer, VCCResult
+from repro.core.result import VCCResult
 from repro.core.ripple import (
     ripple,
     ripple_me,
@@ -27,22 +28,22 @@ from repro.core.vcce_td import vcce_td
 from repro.datasets.registry import DATASETS, Dataset
 from repro.flow.connectivity import is_k_vertex_connected
 from repro.graph.adjacency import Graph
-from repro.graph.forests import k_bfs_seed_components
 from repro.graph.kcore import degeneracy, k_core
 from repro.metrics.accuracy import accuracy_report
 from repro.parallel.executor import ParallelConfig, parallel_ripple
 
 __all__ = [
+    "fig10_rows",
+    "fig7_series",
+    "fig8_rows",
+    "fig9_rows",
+    "k_max",
+    "run_with_stats",
     "table2_rows",
     "table3_rows",
     "table4_rows",
     "table5_rows",
     "table6_rows",
-    "fig7_series",
-    "fig8_rows",
-    "fig9_rows",
-    "fig10_rows",
-    "k_max",
 ]
 
 
@@ -50,6 +51,20 @@ def _timed(action) -> tuple[VCCResult, float]:
     start = time.perf_counter()
     result = action()
     return result, time.perf_counter() - start
+
+
+def run_with_stats(action: Callable[[], object]) -> tuple[object, dict]:
+    """Run ``action`` under a fresh obs collector; return (value, stats).
+
+    ``stats`` is the parsed ``repro.obs/1`` payload
+    (:meth:`repro.obs.Collector.to_json`): the per-phase counters that
+    the benchmark harness attaches to every experiment's JSON dump, so
+    ``results/*.json`` trajectories explain *why* a timing moved (more
+    augmentations? more merge tests?), not just that it did.
+    """
+    with obs.collecting() as collector:
+        value = action()
+    return value, json.loads(collector.to_json())
 
 
 def k_max(graph: Graph) -> int:

@@ -8,6 +8,11 @@ Four subcommands:
   (connectivity and maximality of every component);
 * ``datasets`` — list the registered benchmark datasets;
 * ``bench`` — regenerate one of the paper's tables/figures as text.
+
+The top-level ``--stats`` flag (also accepted after ``enumerate``)
+runs the command under a live :mod:`repro.obs` collector and appends
+the counter/phase tables; ``--stats-json FILE`` saves the same data as
+a ``repro.obs/1`` JSON document (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.bench import experiments, reporting
 from repro.core.ripple import ripple, ripple_me
 from repro.core.vcce_bu import vcce_bu
@@ -24,7 +30,7 @@ from repro.datasets.registry import DATASETS
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list
 
-__all__ = ["main", "build_parser"]
+__all__ = ["build_parser", "main"]
 
 _ALGORITHMS = {
     "ripple": ripple,
@@ -88,11 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ripple",
         description="k-vertex connected component enumeration (RIPPLE)",
     )
+    _add_stats_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     enum = sub.add_parser(
         "enumerate", help="enumerate k-VCCs of an edge-list file"
     )
+    _add_stats_flags(enum)
     enum.add_argument("path", help="edge-list file (u v per line)")
     enum.add_argument("-k", type=int, required=True, help="connectivity")
     enum.add_argument(
@@ -151,6 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="planted: RNG seed (default 0)"
     )
     return parser
+
+
+def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability flags (top level and ``enumerate``)."""
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="collect repro.obs counters and print them after the run",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="also save the collected counters as repro.obs/1 JSON",
+    )
 
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
@@ -228,20 +252,68 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "enumerate":
+        return _cmd_enumerate(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return _cmd_bench(args)
+
+
+def _emit_stats(
+    collector: obs.Collector, show_tables: bool, stats_json: str | None
+) -> None:
+    """Print the counter/phase tables and/or dump the JSON."""
+    if show_tables:
+        counter_rows = [
+            [name, value]
+            for name, value in sorted(collector.counters.items())
+        ]
+        print()
+        print(
+            reporting.render_table(
+                "Run statistics: counters (repro.obs)",
+                ["counter", "value"],
+                counter_rows,
+            )
+        )
+        phase_rows = [
+            [name, f"{seconds:.6f}"]
+            for name, seconds in sorted(collector.phases.items())
+        ]
+        if phase_rows:
+            print()
+            print(
+                reporting.render_table(
+                    "Run statistics: phase seconds (repro.obs)",
+                    ["phase", "seconds"],
+                    phase_rows,
+                )
+            )
+    if stats_json:
+        with open(stats_json, "w", encoding="utf-8") as handle:
+            handle.write(collector.to_json())
+        print(f"stats saved to {stats_json}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.trace.configure_from_env()
+    want_stats = getattr(args, "stats", False)
+    stats_json = getattr(args, "stats_json", None)
     try:
-        if args.command == "enumerate":
-            return _cmd_enumerate(args)
-        if args.command == "verify":
-            return _cmd_verify(args)
-        if args.command == "datasets":
-            return _cmd_datasets()
-        if args.command == "generate":
-            return _cmd_generate(args)
-        return _cmd_bench(args)
+        if want_stats or stats_json:
+            with obs.collecting() as collector:
+                status = _dispatch(args)
+            _emit_stats(collector, want_stats, stats_json)
+            return status
+        return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

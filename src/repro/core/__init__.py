@@ -1,16 +1,16 @@
 """Core k-VCC enumeration algorithms: the paper's contribution + baselines."""
 
-from repro.core.hybrid import vcce_hybrid
-from repro.core.hierarchy import (
-    kvcc_hierarchy,
-    max_kvcc_level,
-    membership_levels,
-)
 from repro.core.expansion import (
     multiple_expansion,
     ring_expansion,
     unitary_expansion,
 )
+from repro.core.hierarchy import (
+    kvcc_hierarchy,
+    max_kvcc_level,
+    membership_levels,
+)
+from repro.core.hybrid import vcce_hybrid
 from repro.core.merging import (
     flow_based_merge_condition,
     merge_components,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
+from repro import obs
 from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
 from repro.flow.network import VertexSplitNetwork
@@ -82,6 +83,7 @@ def unitary_expansion(
         if len(graph.neighbors(u) & members) < k:
             continue
         members.add(u)
+        obs.count("expansion.ue.absorbed")
         for v in graph.neighbors(u):
             if v not in members and len(graph.neighbors(v) & members) >= k:
                 pending.append(v)
@@ -113,7 +115,18 @@ def multiple_expansion(
             candidates = graph.neighborhood(members, hops) - members
         if not candidates:
             break
+        obs.count("expansion.me.rounds")
         survivors = _shrink_candidates(graph, k, members, candidates, timer)
+        obs.count("expansion.me.absorbed", len(survivors))
+        obs.count(
+            "expansion.me.discarded", len(candidates) - len(survivors)
+        )
+        obs.trace_event(
+            "me.round",
+            members=len(members),
+            candidates=len(candidates),
+            absorbed=len(survivors),
+        )
         if not survivors:
             break
         members |= survivors
@@ -135,6 +148,7 @@ def _shrink_candidates(
     """
     current = set(candidates)
     while current:
+        obs.count("expansion.me.filter_passes")
         network = VertexSplitNetwork(
             graph,
             members | current,
@@ -145,6 +159,11 @@ def _shrink_candidates(
             timer.count("me_flow_calls")
             if network.max_flow(u, SIGMA, cutoff=k) >= k:
                 survivors.add(u)
+        obs.trace_event(
+            "me.filter_pass",
+            candidates=len(current),
+            survivors=len(survivors),
+        )
         if survivors == current:
             return survivors
         current = survivors
@@ -162,7 +181,12 @@ def ring_expansion(
     timer = timer or PhaseTimer()
     members = set(seed)
     while True:
+        obs.count("expansion.rme.rounds")
         absorbed = _ring_pass(graph, k, members, timer)
+        obs.count("expansion.rme.absorbed", len(absorbed))
+        obs.trace_event(
+            "rme.round", members=len(members), absorbed=len(absorbed)
+        )
         if not absorbed:
             break
         members |= absorbed

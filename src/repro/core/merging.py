@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro import obs
 from repro.core.expansion import SIGMA
 from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
@@ -47,6 +48,7 @@ def neighbor_based_merge_condition(
     ``|S ∩ S'| + min(|N_{G[S' \\ S]}(S \\ S')|, |N_{G[S \\ S']}(S' \\ S)|) ≥ k``
     """
     timer.count("merge_checks")
+    obs.count("merge.tests_attempted")
     overlap = side_a & side_b
     pure_a = side_a - side_b
     pure_b = side_b - side_a
@@ -57,7 +59,11 @@ def neighbor_based_merge_condition(
     neighbors_in_a = {
         v for v in pure_a if graph.neighbors(v) & pure_b
     }
-    return len(overlap) + min(len(neighbors_in_b), len(neighbors_in_a)) >= k
+    verdict = (
+        len(overlap) + min(len(neighbors_in_b), len(neighbors_in_a)) >= k
+    )
+    obs.count("merge.tests_accepted" if verdict else "merge.tests_rejected")
+    return verdict
 
 
 def flow_based_merge_condition(
@@ -65,7 +71,10 @@ def flow_based_merge_condition(
 ) -> bool:
     """FBM, Theorem 3: merge iff σ and τ are k-connected in the union."""
     timer.count("merge_checks")
+    obs.count("merge.tests_attempted")
     if len(side_a & side_b) >= k:
+        obs.count("merge.tests_accepted")
+        obs.count("merge.overlap_short_circuits")
         return True
     union = side_a | side_b
     network = VertexSplitNetwork(
@@ -74,7 +83,9 @@ def flow_based_merge_condition(
         virtual_sources={SIGMA: side_a, TAU: side_b},
     )
     timer.count("fbm_flow_calls")
-    return network.max_flow(SIGMA, TAU, cutoff=k) >= k
+    verdict = network.max_flow(SIGMA, TAU, cutoff=k) >= k
+    obs.count("merge.tests_accepted" if verdict else "merge.tests_rejected")
+    return verdict
 
 
 def merge_components(
@@ -98,6 +109,8 @@ def merge_components(
     merged_any = True
     while merged_any:
         merged_any = False
+        obs.count("merge.rounds")
+        obs.trace_event("merge.round", pool=len(pool))
         pool.sort(key=len, reverse=True)
         index = 0
         while index < len(pool):

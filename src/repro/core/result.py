@@ -12,6 +12,7 @@ import json
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ParseError
 
 __all__ = ["PhaseTimer", "VCCResult"]
@@ -19,6 +20,11 @@ __all__ = ["PhaseTimer", "VCCResult"]
 
 class PhaseTimer:
     """Accumulates wall-clock time and counters per named phase.
+
+    Every recording is mirrored to the thread's active
+    :mod:`repro.obs` collector (phases under a ``phase.`` prefix), so
+    enabling observability aggregates the existing per-result timers
+    without touching the algorithms.
 
     >>> timer = PhaseTimer()
     >>> with timer.phase("seeding"):
@@ -38,10 +44,12 @@ class PhaseTimer:
     def add_seconds(self, name: str, seconds: float) -> None:
         """Accumulate raw seconds into a phase (for external timers)."""
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        obs.add_seconds(f"phase.{name}", seconds)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump an operation counter (flow calls, clique tests, …)."""
         self._counters[name] = self._counters.get(name, 0) + amount
+        obs.count(name, amount)
 
     def seconds(self, name: str) -> float:
         """Total seconds recorded for a phase (0.0 if never entered)."""
@@ -157,10 +165,12 @@ class VCCResult:
         try:
             payload = json.loads(document)
             timer = PhaseTimer()
+            # Write the internal dicts directly: deserialising archived
+            # numbers must not leak into the live obs collector.
             for name, seconds in payload.get("phases", {}).items():
-                timer.add_seconds(name, seconds)
+                timer._seconds[str(name)] = float(seconds)
             for name, value in payload.get("counters", {}).items():
-                timer.count(name, value)
+                timer._counters[str(name)] = int(value)
             return cls(
                 components=[frozenset(c) for c in payload["components"]],
                 k=payload["k"],

@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Hashable
 
+from repro import obs
 from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
 from repro.flow.connectivity import find_vertex_cut, is_k_vertex_connected
@@ -203,6 +204,7 @@ def lkvcs_seeds(
         if seed is not None:
             seeds.append(seed)
             covered |= seed
+    obs.count("seeding.lkvcs_sweep_seeds", len(seeds))
     return seeds
 
 
@@ -232,6 +234,8 @@ def qkvcs(
     kbfs_covered: set = set().union(*from_kbfs) if from_kbfs else set()
     timer.count("kbfs_covered", len(kbfs_covered))
     timer.count("clique_covered", len(clique_covered))
+    obs.count("seeding.clique_seeds", len(from_cliques))
+    obs.count("seeding.kbfs_seeds", len(from_kbfs))
 
     seeds = _dedupe(from_kbfs + from_cliques)
     covered = kbfs_covered | clique_covered
@@ -240,7 +244,17 @@ def qkvcs(
         "fallback_covered",
         len(set().union(*fallback)) if fallback else 0,
     )
-    return _dedupe(seeds + fallback)
+    obs.count("seeding.fallback_seeds", len(fallback))
+    final = _dedupe(seeds + fallback)
+    obs.count("seeding.seeds", len(final))
+    obs.trace_event(
+        "seeding.qkvcs",
+        cliques=len(from_cliques),
+        kbfs=len(from_kbfs),
+        fallback=len(fallback),
+        seeds=len(final),
+    )
+    return final
 
 
 def _dedupe(seeds: list[set]) -> list[set]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import obs
 from repro.errors import ParameterError
 
 __all__ = ["Dinic"]
@@ -100,6 +101,7 @@ class Dinic:
         vertex = u
         while True:
             if vertex == sink:
+                obs.count("flow.dinic.augmentations")
                 bottleneck = pushed - total
                 for e in path_edges:
                     if cap[e] < bottleneck:
@@ -146,13 +148,17 @@ class Dinic:
         """
         if source == sink:
             raise ParameterError("source and sink must differ")
+        obs.count("flow.dinic.calls")
         flow = 0.0
         while flow < cutoff and self._bfs(source, sink):
+            obs.count("flow.dinic.bfs_phases")
             self._iter = list(self.head)
             pushed = self._dfs(source, sink, cutoff - flow)
             if pushed == 0:
                 break
             flow += pushed
+        if flow >= cutoff:
+            obs.count("flow.dinic.cutoff_exits")
         return min(flow, cutoff)
 
     def min_cut_side(self, source: int) -> set[int]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import obs
 from repro.errors import ParameterError
 
 __all__ = ["EvenTarjan"]
@@ -94,11 +95,13 @@ class EvenTarjan:
         """Max flow source→sink, stopping once ``cutoff`` is reached."""
         if source == sink:
             raise ParameterError("source and sink must differ")
+        obs.count("flow.even_tarjan.calls")
         flow = 0.0
         while flow < cutoff:
             pushed = self._augment_once(source, sink)
             if pushed == 0:
                 break
+            obs.count("flow.even_tarjan.augmentations")
             flow += pushed
         return min(flow, cutoff)
 

@@ -34,17 +34,17 @@ from repro.graph.generators import (
     ue_trap_graph,
 )
 from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
-from repro.graph.stats import (
-    average_clustering,
-    degree_histogram,
-    density,
-    triangle_count,
-)
 from repro.graph.kcore import (
     core_numbers,
     degeneracy,
     degeneracy_ordering,
     k_core,
+)
+from repro.graph.stats import (
+    average_clustering,
+    degree_histogram,
+    density,
+    triangle_count,
 )
 from repro.graph.traversal import (
     bfs_order,

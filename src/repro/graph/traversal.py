@@ -7,7 +7,7 @@ seeding, and the top-down partitioning baseline.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Hashable, Iterable, Iterator
+from collections.abc import Hashable
 
 from repro.errors import GraphError
 from repro.graph.adjacency import Graph

@@ -1,0 +1,114 @@
+"""Observability substrate: counters, spans, and structured tracing.
+
+Every performance claim in the paper's evaluation reduces to *where the
+flow work goes* — augmentations inside Dinic, candidate filters inside
+Multiple Expansion, pair tests inside Flow-Based Merging. This package
+is the measurement layer those claims are checked against:
+
+* :class:`Collector` — named integer counters + per-phase seconds,
+  mergeable across workers, serialisable to the ``repro.obs/1`` JSON
+  schema;
+* :class:`NullCollector` — the zero-overhead default: recording methods
+  are no-ops, so instrumented hot paths stay hot when nobody is
+  measuring;
+* :mod:`repro.obs.trace` — an opt-in (``REPRO_TRACE=1``) structured
+  event log for debugging fixed-point loops.
+
+The *active* collector is tracked per thread. Module-level
+:func:`count` / :func:`add_seconds` / :func:`span` delegate to it, so
+instrumentation sites never hold a collector reference:
+
+    from repro import obs
+
+    with obs.collecting() as collector:
+        ripple(graph, k=3)
+    print(collector.counter("flow.dinic.augmentations"))
+
+The thread-local scoping is what makes worker aggregation safe: each
+parallel task pushes its own collector, records, pops, and returns the
+snapshot with its result (see :mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs import trace
+from repro.obs.collector import SCHEMA, Collector, NullCollector
+
+__all__ = [
+    "Collector",
+    "NULL",
+    "NullCollector",
+    "SCHEMA",
+    "add_seconds",
+    "collecting",
+    "count",
+    "get_collector",
+    "set_collector",
+    "span",
+    "trace",
+    "trace_event",
+]
+
+#: The process-wide no-op default every thread starts with.
+NULL = NullCollector()
+
+_tls = threading.local()
+
+# Pick up REPRO_TRACE from the environment as soon as the library is
+# imported, so `REPRO_TRACE=1 python script.py` needs no code changes.
+trace.configure_from_env()
+
+
+def get_collector() -> Collector:
+    """The thread's active collector (the shared no-op by default)."""
+    return getattr(_tls, "collector", NULL)
+
+
+def set_collector(collector: Collector) -> Collector:
+    """Install ``collector`` as this thread's active one; returns the
+    previous active collector so callers can restore it."""
+    previous = get_collector()
+    _tls.collector = collector
+    return previous
+
+
+@contextmanager
+def collecting(
+    collector: Collector | None = None,
+) -> Iterator[Collector]:
+    """Scope a collector over a block of work (thread-local).
+
+    With no argument a fresh :class:`Collector` is created. The
+    previously active collector is restored on exit, so scopes nest —
+    the mechanism behind per-task worker deltas.
+    """
+    active = Collector() if collector is None else collector
+    previous = set_collector(active)
+    try:
+        yield active
+    finally:
+        _tls.collector = previous
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a counter on the active collector."""
+    getattr(_tls, "collector", NULL).count(name, amount)
+
+
+def add_seconds(name: str, seconds: float) -> None:
+    """Accumulate seconds into a phase on the active collector."""
+    getattr(_tls, "collector", NULL).add_seconds(name, seconds)
+
+
+def span(name: str):
+    """Context manager timing its block on the active collector."""
+    return getattr(_tls, "collector", NULL).span(name)
+
+
+def trace_event(event: str, **fields) -> None:
+    """Emit a structured trace event (no-op unless tracing is on)."""
+    trace.emit(event, **fields)

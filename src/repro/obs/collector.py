@@ -1,0 +1,229 @@
+"""The :class:`Collector`: process-wide counters and phase timers.
+
+A collector is a plain accumulator — named integer counters plus named
+wall-clock buckets — with a merge operation so that worker processes
+can aggregate locally and ship their snapshots back to the parent
+(see :mod:`repro.parallel.executor`). The :class:`NullCollector`
+subclass turns every recording method into a no-op so that
+instrumented hot paths (Dinic augmentation loops, ME candidate
+filters, FBM pair tests) cost one dynamic dispatch when observability
+is off.
+
+Snapshots serialise to the ``repro.obs/1`` JSON schema documented in
+``docs/observability.md``; :meth:`Collector.to_json` /
+:meth:`Collector.from_json` round-trip it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.errors import ParseError
+
+__all__ = ["SCHEMA", "Collector", "NullCollector"]
+
+#: Identifier embedded in every JSON dump so downstream tooling can
+#: detect layout changes.
+SCHEMA = "repro.obs/1"
+
+
+class Collector:
+    """Accumulates named counters and per-phase seconds.
+
+    >>> collector = Collector()
+    >>> collector.count("flow.dinic.calls")
+    >>> with collector.span("seeding"):
+    ...     pass
+    >>> collector.counter("flow.dinic.calls")
+    1
+    """
+
+    __slots__ = ("_counters", "_seconds", "_workers_merged")
+
+    is_noop = False
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+        self._workers_merged = 0
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds into phase ``name``."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def span(self, name: str) -> "_Span":
+        """Context manager timing its block into phase ``name``."""
+        return _Span(self, name)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        """Seconds accumulated for a phase (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """A copy of the counter → value mapping."""
+        return dict(self._counters)
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """A copy of the phase → seconds mapping."""
+        return dict(self._seconds)
+
+    @property
+    def workers_merged(self) -> int:
+        """How many worker snapshots have been merged in."""
+        return self._workers_merged
+
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded or merged."""
+        return (
+            not self._counters
+            and not self._seconds
+            and self._workers_merged == 0
+        )
+
+    # -- aggregation ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The current state as a plain mergeable dict."""
+        return {
+            "counters": dict(self._counters),
+            "phases": dict(self._seconds),
+        }
+
+    def take(self) -> dict:
+        """Snapshot the current state, then reset. For worker deltas."""
+        state = self.snapshot()
+        self.reset()
+        return state
+
+    def merge(self, snapshot: "Collector | dict") -> None:
+        """Fold another collector (or a :meth:`snapshot` dict) into this.
+
+        Used by the parallel executor: each pool task records into its
+        own scoped collector and returns the snapshot with its result;
+        the orchestrator merges them so per-run totals include worker
+        activity.
+        """
+        if isinstance(snapshot, Collector):
+            snapshot = snapshot.snapshot()
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, int(value))
+        for name, seconds in snapshot.get("phases", {}).items():
+            self.add_seconds(name, float(seconds))
+        self._workers_merged += 1
+
+    def reset(self) -> None:
+        """Drop every recorded counter, phase, and merge mark."""
+        self._counters.clear()
+        self._seconds.clear()
+        self._workers_merged = 0
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to the ``repro.obs/1`` schema (see docs)."""
+        payload = {
+            "schema": SCHEMA,
+            "counters": dict(sorted(self._counters.items())),
+            "phases": dict(sorted(self._seconds.items())),
+            "workers_merged": self._workers_merged,
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, document: str) -> "Collector":
+        """Rebuild a collector from :meth:`to_json` output."""
+        try:
+            payload = json.loads(document)
+            if payload.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"unknown schema {payload.get('schema')!r}, "
+                    f"expected {SCHEMA!r}"
+                )
+            collector = cls()
+            for name, value in payload["counters"].items():
+                collector._counters[str(name)] = int(value)
+            for name, seconds in payload["phases"].items():
+                collector._seconds[str(name)] = float(seconds)
+            collector._workers_merged = int(
+                payload.get("workers_merged", 0)
+            )
+            return collector
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ParseError(
+                f"not a valid repro.obs document: {exc}"
+            ) from exc
+
+
+class _Span:
+    """Context manager produced by :meth:`Collector.span`."""
+
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: Collector, name: str) -> None:
+        self._collector = collector
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._collector.add_seconds(
+            self._name, time.perf_counter() - self._start
+        )
+
+
+class _NullSpan:
+    """Reusable do-nothing span for :class:`NullCollector`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullCollector(Collector):
+    """A collector that records nothing.
+
+    Installed as the process default so instrumentation calls in hot
+    loops reduce to a single no-op method dispatch. Reading methods
+    report emptiness; merging into it is discarded.
+    """
+
+    __slots__ = ()
+
+    is_noop = True
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        pass
+
+    def span(self, name: str) -> "_NullSpan":  # type: ignore[override]
+        return _NULL_SPAN
+
+    def merge(self, snapshot: "Collector | dict") -> None:
+        pass

@@ -1,0 +1,105 @@
+"""Opt-in structured-event trace log (``REPRO_TRACE=1``).
+
+Counters say *how much*; the trace says *in what order*. When tracing
+is enabled, instrumented fixed-point loops (ME candidate shrinking,
+RME ring passes, FBM merge rounds) emit one JSON object per line —
+monotonic ``seq``, wall-clock ``ts``, an ``event`` name, and
+event-specific integer fields — to the file named by
+``REPRO_TRACE_FILE`` (default: stderr).
+
+The sink is module-global and configured once, either from the
+environment at import time (:func:`configure_from_env`) or explicitly
+(:func:`configure`). When no sink is configured, :func:`emit` returns
+after a single ``None`` check, so tracing costs nothing when off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO
+
+__all__ = [
+    "close",
+    "configure",
+    "configure_from_env",
+    "emit",
+    "is_enabled",
+]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_sink: IO[str] | None = None
+_owns_sink = False
+_seq = 0
+
+
+def configure(
+    path: str | None = None, stream: IO[str] | None = None
+) -> None:
+    """Install the trace sink: a file path, an open stream, or neither.
+
+    Passing neither disables tracing (and closes any owned sink).
+    """
+    global _sink, _owns_sink, _seq
+    close()
+    if path is not None:
+        _sink = open(path, "a", encoding="utf-8")
+        _owns_sink = True
+    elif stream is not None:
+        _sink = stream
+        _owns_sink = False
+    _seq = 0
+
+
+def configure_from_env(environ: dict | None = None) -> bool:
+    """Read ``REPRO_TRACE`` / ``REPRO_TRACE_FILE`` and (re)configure.
+
+    Returns True when tracing ended up enabled. ``REPRO_TRACE`` must be
+    a truthy string (``1``, ``true``, ``yes``, ``on``; case-insensitive);
+    ``REPRO_TRACE_FILE`` redirects events from stderr into a file.
+    """
+    env = os.environ if environ is None else environ
+    flag = str(env.get("REPRO_TRACE", "")).strip().lower()
+    if flag not in _TRUTHY:
+        configure()
+        return False
+    path = env.get("REPRO_TRACE_FILE")
+    if path:
+        configure(path=path)
+    else:
+        configure(stream=sys.stderr)
+    return True
+
+
+def is_enabled() -> bool:
+    """Whether a trace sink is currently installed."""
+    return _sink is not None
+
+
+def emit(event: str, **fields) -> None:
+    """Write one structured event; a no-op when tracing is off.
+
+    Field values must be JSON-safe (the instrumentation sites only pass
+    ints and short strings).
+    """
+    global _seq
+    sink = _sink
+    if sink is None:
+        return
+    _seq += 1
+    record = {"seq": _seq, "ts": round(time.time(), 6), "event": event}
+    record.update(fields)
+    sink.write(json.dumps(record, sort_keys=True) + "\n")
+    sink.flush()
+
+
+def close() -> None:
+    """Close an owned sink and disable tracing."""
+    global _sink, _owns_sink
+    if _sink is not None and _owns_sink:
+        _sink.close()
+    _sink = None
+    _owns_sink = False

@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro import obs
 from repro.core.expansion import ring_expansion
 from repro.core.merging import flow_based_merge_condition
 from repro.core.result import PhaseTimer, VCCResult
@@ -49,32 +50,59 @@ def _init_worker(graph: Graph, k: int) -> None:
     _WORKER_K = k
 
 
-def _expand_task(seed: frozenset) -> frozenset:
-    return frozenset(ring_expansion(_WORKER_GRAPH, _WORKER_K, set(seed)))
+# Every task records into a collector scoped to the task (the obs
+# active-collector is thread-local, so this is race-free under both
+# backends) and returns the snapshot alongside its payload. The
+# orchestrator folds the snapshots into its own collector, so per-run
+# totals include worker-side flow calls, merge tests and absorptions.
 
 
-def _merge_pair_task(pair: tuple[frozenset, frozenset]) -> bool:
+def _expand_task(seed: frozenset) -> tuple[frozenset, dict]:
+    with obs.collecting() as collector:
+        grown = frozenset(
+            ring_expansion(_WORKER_GRAPH, _WORKER_K, set(seed))
+        )
+    return grown, collector.snapshot()
+
+
+def _merge_pair_task(
+    pair: tuple[frozenset, frozenset]
+) -> tuple[bool, dict]:
     side_a, side_b = pair
-    return flow_based_merge_condition(
-        _WORKER_GRAPH, _WORKER_K, set(side_a), set(side_b), PhaseTimer()
-    )
+    with obs.collecting() as collector:
+        verdict = flow_based_merge_condition(
+            _WORKER_GRAPH, _WORKER_K, set(side_a), set(side_b), PhaseTimer()
+        )
+    return verdict, collector.snapshot()
 
 
 def _clique_roots_task(
     payload: tuple[dict, tuple]
-) -> list[frozenset]:
+) -> tuple[list[frozenset], dict]:
     position, roots = payload
-    return list(
-        cliques_from_roots(
-            _WORKER_GRAPH, _WORKER_K + 1, position, list(roots)
+    with obs.collecting() as collector:
+        cliques = list(
+            cliques_from_roots(
+                _WORKER_GRAPH, _WORKER_K + 1, position, list(roots)
+            )
         )
-    )
+    return cliques, collector.snapshot()
 
 
-def _lkvcs_task(payload: tuple[object, int]) -> frozenset | None:
+def _lkvcs_task(
+    payload: tuple[object, int]
+) -> tuple[frozenset | None, dict]:
     vertex, alpha = payload
-    seed = lkvcs(_WORKER_GRAPH, _WORKER_K, vertex, alpha=alpha)
-    return None if seed is None else frozenset(seed)
+    with obs.collecting() as collector:
+        seed = lkvcs(_WORKER_GRAPH, _WORKER_K, vertex, alpha=alpha)
+    found = None if seed is None else frozenset(seed)
+    return found, collector.snapshot()
+
+
+def _absorb(snapshot: dict) -> None:
+    """Fold one worker task's counter snapshot into the ambient collector."""
+    obs.count("parallel.tasks_completed")
+    obs.get_collector().merge(snapshot)
 
 
 class ParallelConfig:
@@ -163,15 +191,17 @@ def _parallel_seeding(
     payloads = [
         (position, chunk) for chunk in _chunks(order, 4 * config.workers)
     ]
-    for cliques in pool.map(_clique_roots_task, payloads):
+    for cliques, stats in pool.map(_clique_roots_task, payloads):
+        _absorb(stats)
         seeds.extend(set(c) for c in cliques)
     covered: set = set().union(*seeds) if seeds else set()
     uncovered = sorted(
         (u for u in core.vertices() if u not in covered), key=core.degree
     )
-    for found in pool.map(
+    for found, stats in pool.map(
         _lkvcs_task, [(u, alpha) for u in uncovered]
     ):
+        _absorb(stats)
         # Results arrive in submission order; respecting prior coverage
         # here mirrors the sequential sweep's skip rule.
         if found is not None and not (found <= covered):
@@ -193,12 +223,13 @@ def _merge_expand_loop(
         with timer.phase("merging"):
             components = _parallel_merge(pool, core, k, components, timer)
         with timer.phase("expansion"):
-            components = [
-                set(grown)
-                for grown in pool.map(
-                    _expand_task, [frozenset(c) for c in components]
-                )
-            ]
+            expanded = []
+            for grown, stats in pool.map(
+                _expand_task, [frozenset(c) for c in components]
+            ):
+                _absorb(stats)
+                expanded.append(set(grown))
+            components = expanded
         timer.count("rounds")
         if {frozenset(c) for c in components} == before:
             return components
@@ -242,7 +273,8 @@ def _parallel_merge(
             return x
 
         merged_any = False
-        for (i, j), ok in zip(candidates, verdicts):
+        for (i, j), (ok, stats) in zip(candidates, verdicts):
+            _absorb(stats)
             if ok:
                 ri, rj = find(i), find(j)
                 if ri != rj:

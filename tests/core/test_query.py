@@ -6,7 +6,6 @@ from repro.core import kvcc_containing, vcce_td
 from repro.errors import ParameterError
 from repro.flow import is_k_vertex_connected
 from repro.graph import (
-    Graph,
     clique_graph,
     community_graph,
     planted_kvcc_graph,

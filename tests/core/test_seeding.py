@@ -15,7 +15,6 @@ from repro.core import (
 from repro.errors import ParameterError
 from repro.flow import is_k_vertex_connected
 from repro.graph import (
-    Graph,
     circulant_graph,
     clique_graph,
     community_graph,

@@ -1,0 +1,80 @@
+"""Tests for the REPRO_TRACE structured-event log."""
+
+import io
+import json
+
+import pytest
+
+from repro import ripple
+from repro.graph import community_graph
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    trace.close()
+
+
+def _read_events(text):
+    events = [json.loads(line) for line in text.splitlines() if line]
+    for event in events:
+        assert {"seq", "ts", "event"} <= set(event)
+    return events
+
+
+class TestConfiguration:
+    def test_disabled_by_default_env(self):
+        assert trace.configure_from_env({}) is False
+        assert not trace.is_enabled()
+
+    @pytest.mark.parametrize("flag", ["1", "true", "YES", "On"])
+    def test_truthy_flags(self, flag, tmp_path):
+        target = tmp_path / "t.jsonl"
+        enabled = trace.configure_from_env(
+            {"REPRO_TRACE": flag, "REPRO_TRACE_FILE": str(target)}
+        )
+        assert enabled and trace.is_enabled()
+
+    def test_falsy_flag_disables(self):
+        trace.configure(stream=io.StringIO())
+        assert trace.configure_from_env({"REPRO_TRACE": "0"}) is False
+        assert not trace.is_enabled()
+
+    def test_emit_without_sink_is_noop(self):
+        trace.configure()
+        trace.emit("anything", n=1)  # must not raise
+
+
+class TestEmission:
+    def test_events_are_wellformed_jsonl(self):
+        sink = io.StringIO()
+        trace.configure(stream=sink)
+        trace.emit("alpha", n=1)
+        trace.emit("beta", n=2, label="x")
+        events = _read_events(sink.getvalue())
+        assert [e["event"] for e in events] == ["alpha", "beta"]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[1]["label"] == "x"
+
+    def test_pipeline_traces_fixed_point_loops(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        trace.configure_from_env(
+            {"REPRO_TRACE": "1", "REPRO_TRACE_FILE": str(target)}
+        )
+        graph = community_graph([12, 12], k=3, seed=1, bridge_width=2)
+        ripple(graph, 3)
+        trace.close()
+        events = _read_events(target.read_text(encoding="utf-8"))
+        kinds = {e["event"] for e in events}
+        assert "rme.round" in kinds
+        assert "merge.round" in kinds
+        assert "seeding.qkvcs" in kinds
+        # seq is strictly increasing — the log orders the loops.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        rme = [e for e in events if e["event"] == "rme.round"]
+        assert all(
+            isinstance(e["members"], int) and isinstance(e["absorbed"], int)
+            for e in rme
+        )

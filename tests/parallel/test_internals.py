@@ -43,15 +43,18 @@ class TestWorkerTasks:
     def test_expand_task(self):
         g = community_graph([14], k=3, seed=1)
         _init_worker(g, 3)
-        grown = _expand_task(frozenset(range(6)))
+        grown, stats = _expand_task(frozenset(range(6)))
         assert grown == frozenset(range(14))
+        assert stats["counters"]["expansion.rme.rounds"] >= 1
 
     def test_merge_pair_task(self):
         g = clique_graph(6)
         _init_worker(g, 3)
-        assert _merge_pair_task(
+        verdict, stats = _merge_pair_task(
             (frozenset(range(4)), frozenset(range(2, 6)))
         )
+        assert verdict
+        assert stats["counters"]["merge.tests_attempted"] == 1
 
 
 class TestUnionFindMerge:

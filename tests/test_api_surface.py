@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.flow",
     "repro.graph",
     "repro.metrics",
+    "repro.obs",
     "repro.parallel",
 ]
 

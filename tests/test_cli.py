@@ -57,6 +57,45 @@ class TestEnumerate:
         assert "error" in capsys.readouterr().err
 
 
+class TestStats:
+    def test_stats_flag_prints_counters(self, edge_list, capsys):
+        assert main(["--stats", "enumerate", edge_list, "-k", "3",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Run statistics: counters (repro.obs)" in out
+        assert "flow.dinic.augmentations" in out
+        assert "expansion.rme.rounds" in out
+        assert "merge.tests_attempted" in out
+        assert "phase.seeding" in out
+
+    def test_stats_flag_accepted_after_subcommand(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--stats"]) == 0
+        assert "repro.obs" in capsys.readouterr().out
+
+    def test_stats_json_dump_matches_schema(self, edge_list, tmp_path,
+                                            capsys):
+        import json
+
+        from repro.obs import SCHEMA, Collector
+
+        target = tmp_path / "stats.json"
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--stats-json", str(target)]) == 0
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == SCHEMA
+        assert payload["counters"]["flow.dinic.calls"] > 0
+        assert payload["counters"]["merge.tests_attempted"] > 0
+        assert payload["phases"]["phase.seeding"] >= 0
+        # and it round-trips through the collector itself
+        rebuilt = Collector.from_json(target.read_text(encoding="utf-8"))
+        assert rebuilt.counters == payload["counters"]
+
+    def test_no_stats_by_default(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet"]) == 0
+        assert "repro.obs" not in capsys.readouterr().out
+
+
 class TestDatasets:
     def test_lists_all(self, capsys):
         assert main(["datasets"]) == 0

@@ -8,10 +8,14 @@ subprocesses under different hash seeds and compares the JSON results.
 """
 
 import json
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
 
 _SNIPPET = """
 import json
@@ -30,11 +34,21 @@ print(json.dumps(out))
 
 
 def _run(hash_seed: str) -> dict:
+    # Minimal environment so only the hash seed varies between runs —
+    # but PYTHONPATH must survive, or the subprocess cannot import
+    # repro when the package is run from a source checkout.
+    pythonpath = os.pathsep.join(
+        p for p in (_SRC, os.environ.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, "-c", _SNIPPET],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": pythonpath,
+        },
         timeout=300,
     )
     assert proc.returncode == 0, proc.stderr

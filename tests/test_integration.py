@@ -13,7 +13,6 @@ graphs:
 * F_same/J_Index of the exact result against itself is 100%.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

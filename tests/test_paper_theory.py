@@ -18,12 +18,11 @@ implementation rests on, on randomized instances:
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.expansion import SIGMA, multiple_expansion
-from repro.core.merging import TAU, flow_based_merge_condition
+from repro.core.merging import flow_based_merge_condition
 from repro.core.result import PhaseTimer
 from repro.flow import (
     VertexSplitNetwork,
