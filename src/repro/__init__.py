@@ -38,7 +38,13 @@ from repro.core import (
     verify_component,
     verify_result,
 )
-from repro.errors import GraphError, ParameterError, ParseError, ReproError
+from repro.errors import (
+    GraphError,
+    GraphFormatError,
+    ParameterError,
+    ParseError,
+    ReproError,
+)
 from repro.flow import (
     global_vertex_connectivity,
     is_k_vertex_connected,
@@ -47,18 +53,23 @@ from repro.flow import (
 from repro.graph import Graph, read_edge_list, write_edge_list
 from repro.metrics import accuracy_report, f_same, j_index
 from repro.parallel import ParallelConfig, parallel_ripple
+from repro.resilience import Deadline, FaultPlan, SupervisionConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ComponentReport",
+    "Deadline",
+    "FaultPlan",
     "Graph",
     "GraphError",
+    "GraphFormatError",
     "ParallelConfig",
     "ParameterError",
     "ParseError",
     "PhaseTimer",
     "ReproError",
+    "SupervisionConfig",
     "VCCResult",
     "accuracy_report",
     "bottom_up_pipeline",

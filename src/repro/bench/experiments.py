@@ -4,6 +4,12 @@ Each function computes the structured rows behind a table or figure of
 the evaluation section; ``benchmarks/`` wraps them in pytest-benchmark
 entries and renders them via :mod:`repro.bench.reporting`. Everything
 here is deterministic given the dataset registry.
+
+The row functions accept a ``budget_seconds`` wall-clock budget (a
+:class:`repro.resilience.Deadline` threaded through every enumeration
+that supports one): when it expires, the sweep stops at the next row
+boundary and returns the rows computed so far, so a long experiment
+interrupted by a cluster deadline still yields usable partial tables.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.kcore import degeneracy, k_core
 from repro.metrics.accuracy import accuracy_report
 from repro.parallel.executor import ParallelConfig, parallel_ripple
+from repro.resilience.deadline import Deadline, as_deadline
 
 __all__ = [
     "fig10_rows",
@@ -100,15 +107,23 @@ def table2_rows() -> list[list]:
 
 def table3_rows(
     names: Sequence[str] | None = None,
+    budget_seconds: Deadline | float | None = None,
 ) -> list[list]:
     """Table III: accuracy of RIPPLE vs VCCE-BU against exact results."""
+    deadline = as_deadline(budget_seconds)
     rows = []
     for dataset in _selected(names):
         graph = dataset.graph()
         for k in dataset.ks:
+            if deadline.expired():
+                return rows
             exact = vcce_td(graph, k)
-            ours = ripple(graph, k)
-            baseline = vcce_bu(graph, k)
+            ours = ripple(graph, k, deadline=deadline)
+            baseline = vcce_bu(graph, k, deadline=deadline)
+            if ours.is_partial or baseline.is_partial:
+                # A partial enumeration would report bogus accuracy;
+                # stop at the last complete row instead.
+                return rows
             ours_acc = accuracy_report(ours.components, exact.components)
             base_acc = accuracy_report(
                 baseline.components, exact.components
@@ -167,8 +182,10 @@ def table5_rows(
         "uk-2005",
         "it-2004",
     ),
+    budget_seconds: Deadline | float | None = None,
 ) -> list[list]:
     """Table V: ablation of the three RIPPLE modules."""
+    deadline = as_deadline(budget_seconds)
     variants = (
         ("RIPPLE", ripple),
         ("noQkVCS", ripple_no_qkvcs),
@@ -177,10 +194,14 @@ def table5_rows(
     )
     rows = []
     for dataset in _selected(names):
+        if deadline.expired():
+            return rows
         graph = dataset.graph()
         k = dataset.default_k
         exact = vcce_td(graph, k)
         for label, fn in variants:
+            if deadline.expired():
+                return rows
             result, seconds = _timed(lambda: fn(graph, k))
             acc = accuracy_report(result.components, exact.components)
             rows.append(
@@ -249,8 +270,12 @@ def _coverage(seeds: list[set], core: Graph) -> float:
     return len(covered) / core.num_vertices
 
 
-def fig7_series(name: str) -> tuple[list[int], dict[str, list[float]]]:
+def fig7_series(
+    name: str,
+    budget_seconds: Deadline | float | None = None,
+) -> tuple[list[int], dict[str, list[float]]]:
     """Figure 7: running time of TD / BU / RIPPLE as k varies."""
+    deadline = as_deadline(budget_seconds)
     dataset = DATASETS[name]
     graph = dataset.graph()
     ks = sorted(set(dataset.ks))
@@ -259,14 +284,18 @@ def fig7_series(name: str) -> tuple[list[int], dict[str, list[float]]]:
         "VCCE-BU": [],
         "RIPPLE": [],
     }
+    done = []
     for k in ks:
+        if deadline.expired():
+            break
         _, td_time = _timed(lambda: vcce_td(graph, k))
         _, bu_time = _timed(lambda: vcce_bu(graph, k))
         _, rp_time = _timed(lambda: ripple(graph, k))
+        done.append(k)
         times["VCCE-TD"].append(round(td_time, 4))
         times["VCCE-BU"].append(round(bu_time, 4))
         times["RIPPLE"].append(round(rp_time, 4))
-    return ks, times
+    return done, times
 
 
 def fig8_rows(names: Sequence[str] | None = None) -> list[list]:
@@ -316,14 +345,18 @@ def fig10_rows(
     name: str = "ca-dblp",
     worker_counts: Sequence[int] = (1, 2, 4, 8),
     backend: str = "process",
+    budget_seconds: Deadline | float | None = None,
 ) -> list[list]:
     """Figure 10: parallel RIPPLE wall time and speedup vs workers."""
+    deadline = as_deadline(budget_seconds)
     dataset = DATASETS[name]
     graph = dataset.graph()
     k = dataset.default_k
     rows = []
     base_time: float | None = None
     for workers in worker_counts:
+        if deadline.expired():
+            return rows
         config = ParallelConfig(workers=workers, backend=backend)
         _, seconds = _timed(lambda: parallel_ripple(graph, k, config))
         if base_time is None:

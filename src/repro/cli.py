@@ -13,11 +13,17 @@ The top-level ``--stats`` flag (also accepted after ``enumerate``)
 runs the command under a live :mod:`repro.obs` collector and appends
 the counter/phase tables; ``--stats-json FILE`` saves the same data as
 a ``repro.obs/1`` JSON document (see ``docs/observability.md``).
+
+Exit codes (see ``docs/robustness.md``): 0 success, 1 verification
+failures, 2 usage/input errors, 3 a ``--deadline`` expired (partial
+results were printed), 4 the supervised pool degraded to sequential
+execution, 130 interrupted (partial results were printed).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -29,6 +35,8 @@ from repro.core.vcce_td import vcce_td
 from repro.datasets.registry import DATASETS
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list
+from repro.parallel.executor import ParallelConfig, parallel_ripple
+from repro.resilience import Deadline, SupervisionConfig
 
 __all__ = ["build_parser", "main"]
 
@@ -37,6 +45,21 @@ _ALGORITHMS = {
     "ripple-me": ripple_me,
     "vcce-td": vcce_td,
     "vcce-bu": vcce_bu,
+}
+
+#: Sequential algorithms that accept a ``deadline=`` keyword.
+_DEADLINE_AWARE = {"ripple", "ripple-me", "vcce-bu"}
+
+EXIT_ERROR = 2
+EXIT_DEADLINE = 3
+EXIT_DEGRADED = 4
+EXIT_INTERRUPT = 130
+
+_STATUS_EXIT_CODES = {
+    "completed": 0,
+    "deadline": EXIT_DEADLINE,
+    "degraded": EXIT_DEGRADED,
+    "interrupted": EXIT_INTERRUPT,
 }
 
 _BENCHES = {
@@ -105,9 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument("-k", type=int, required=True, help="connectivity")
     enum.add_argument(
         "--algorithm",
-        choices=sorted(_ALGORITHMS),
+        choices=sorted([*_ALGORITHMS, "parallel-ripple"]),
         default="ripple",
         help="which enumerator to run (default: ripple)",
+    )
+    enum.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="parallel-ripple: worker pool size (default 2)",
+    )
+    enum.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="parallel-ripple: pool backend (default process)",
+    )
+    enum.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; when it expires the run stops at the "
+        "next stage boundary, prints partial results, and exits 3",
+    )
+    enum.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="parallel-ripple: seconds before a worker task is "
+        "declared hung and re-dispatched",
     )
     enum.add_argument(
         "--quiet",
@@ -177,11 +226,53 @@ def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_enumerate(args: argparse.Namespace) -> int:
+def _cmd_enumerate(args: argparse.Namespace, runinfo: dict) -> int:
     graph = read_edge_list(args.path, allow_self_loops=True)
-    algorithm = _ALGORITHMS[args.algorithm]
-    result = algorithm(graph, args.k)
+    deadline = (
+        Deadline(args.deadline) if args.deadline is not None else None
+    )
+    if args.algorithm == "parallel-ripple":
+        config = ParallelConfig(workers=args.workers, backend=args.backend)
+        supervision = SupervisionConfig(task_timeout=args.task_timeout)
+        result = parallel_ripple(
+            graph,
+            args.k,
+            config,
+            supervision=supervision,
+            deadline=deadline,
+        )
+    else:
+        if args.task_timeout is not None:
+            print(
+                "note: --task-timeout only applies to parallel-ripple; "
+                "ignoring",
+                file=sys.stderr,
+            )
+        algorithm = _ALGORITHMS[args.algorithm]
+        if args.algorithm in _DEADLINE_AWARE:
+            result = algorithm(graph, args.k, deadline=deadline)
+        else:
+            if deadline is not None:
+                print(
+                    f"note: --deadline is not supported by "
+                    f"{args.algorithm}; ignoring",
+                    file=sys.stderr,
+                )
+            result = algorithm(graph, args.k)
+    runinfo["status"] = result.status
     print(result.summary())
+    if result.is_partial:
+        checkpointed = len(result.checkpoint or [])
+        print(
+            f"partial results ({result.status}): enumeration stopped at a "
+            f"stage boundary; {checkpointed} component(s) checkpointed "
+            f"for resumption (saved with --json)"
+        )
+    elif result.status == "degraded":
+        print(
+            "warning: worker pool degraded to sequential execution; "
+            "results are complete"
+        )
     if not args.quiet:
         for index, component in enumerate(result.components, start=1):
             members = " ".join(sorted(map(str, component)))
@@ -190,7 +281,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
         print(f"result saved to {args.json}")
-    return 0
+    return _STATUS_EXIT_CODES.get(result.status, 0)
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -252,9 +343,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _dispatch(args: argparse.Namespace) -> int:
+def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
     if args.command == "enumerate":
-        return _cmd_enumerate(args)
+        return _cmd_enumerate(args, runinfo)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "datasets":
@@ -265,7 +356,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def _emit_stats(
-    collector: obs.Collector, show_tables: bool, stats_json: str | None
+    collector: obs.Collector,
+    show_tables: bool,
+    stats_json: str | None,
+    status: str | None = None,
 ) -> None:
     """Print the counter/phase tables and/or dump the JSON."""
     if show_tables:
@@ -295,8 +389,15 @@ def _emit_stats(
                 )
             )
     if stats_json:
+        # The run's end status rides along in the repro.obs/1 document
+        # (unknown keys are ignored by Collector.from_json), so a
+        # deadline-stopped or degraded run is identifiable from its
+        # stats dump alone.
+        payload = json.loads(collector.to_json())
+        if status is not None:
+            payload["status"] = status
         with open(stats_json, "w", encoding="utf-8") as handle:
-            handle.write(collector.to_json())
+            json.dump(payload, handle, indent=2)
         print(f"stats saved to {stats_json}")
 
 
@@ -307,19 +408,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     obs.trace.configure_from_env()
     want_stats = getattr(args, "stats", False)
     stats_json = getattr(args, "stats_json", None)
+    runinfo: dict = {}
     try:
         if want_stats or stats_json:
-            with obs.collecting() as collector:
-                status = _dispatch(args)
-            _emit_stats(collector, want_stats, stats_json)
-            return status
-        return _dispatch(args)
+            collector = obs.Collector()
+            try:
+                with obs.collecting(collector):
+                    return _dispatch(args, runinfo)
+            finally:
+                # Emitted even when the command is unwinding (deadline,
+                # interrupt, error): partial statistics beat none.
+                _emit_stats(
+                    collector,
+                    want_stats,
+                    stats_json,
+                    status=runinfo.get("status"),
+                )
+        return _dispatch(args, runinfo)
+    except KeyboardInterrupt:
+        # The pipelines convert in-flight interrupts into partial
+        # results (status "interrupted", exit 130); this catches an
+        # interrupt landing outside them — exit quietly, no traceback.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -21,8 +21,9 @@ entry points built on this driver.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
+from repro import obs
 from repro.core import expansion as expansion_mod
 from repro.core import merging as merging_mod
 from repro.core import seeding as seeding_mod
@@ -30,6 +31,7 @@ from repro.core.result import PhaseTimer, VCCResult
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.kcore import k_core
+from repro.resilience.deadline import Deadline, as_deadline
 
 __all__ = [
     "bottom_up_pipeline",
@@ -92,6 +94,8 @@ def bottom_up_pipeline(
     me_hops: int | None = 1,
     algorithm_name: str | None = None,
     order: str = "merge_first",
+    deadline: Deadline | float | None = None,
+    resume_from: Iterable[frozenset] | None = None,
 ) -> VCCResult:
     """Run the seed → (merge ↔ expand)* pipeline and return its result.
 
@@ -101,6 +105,15 @@ def bottom_up_pipeline(
     ``"merge_first"`` (the paper's choice: merging seeds early avoids
     redundant expansion work) or ``"expand_first"`` (the ablation of
     DESIGN.md §5). ``me_hops`` only applies when ``expansion="me"``.
+
+    ``deadline`` (a :class:`repro.resilience.Deadline` or seconds) is
+    checked at every stage boundary; when it expires the run stops
+    cleanly and returns the components found so far with
+    ``status="deadline"`` and a ``checkpoint`` of the working pool. A
+    ``KeyboardInterrupt`` is handled the same way with
+    ``status="interrupted"``. ``resume_from`` (a previous result's
+    ``checkpoint``) skips seeding and continues merging/expanding that
+    pool.
     """
     if k < 2:
         raise ParameterError(f"k must be >= 2, got {k}")
@@ -121,44 +134,90 @@ def bottom_up_pipeline(
     name = algorithm_name or (
         f"pipeline({seeding}+{merging}+{expansion})"
     )
+    budget = as_deadline(deadline)
     timer = PhaseTimer()
-
-    with timer.phase("kcore"):
-        core = k_core(graph, k)
-    if core.num_vertices <= k:
-        return VCCResult([], k=k, algorithm=name, timer=timer)
-
-    with timer.phase("seeding"):
-        seeds = SEEDERS[seeding](core, k, alpha, timer)
-    if not seeds:
-        return VCCResult([], k=k, algorithm=name, timer=timer)
-
-    expand = EXPANDERS[expansion]
-    merge_condition = MERGERS[merging]
-    components = [set(seed) for seed in seeds]
-
-    def merge_step(pool: list[set]) -> list[set]:
-        with timer.phase("merging"):
-            return merging_mod.merge_components(
-                core, k, pool, merge_condition, timer=timer
-            )
-
-    def expand_step(pool: list[set]) -> list[set]:
-        with timer.phase("expansion"):
-            return [expand(core, k, comp, me_hops, timer) for comp in pool]
-
-    first, second = (
-        (merge_step, expand_step)
-        if order == "merge_first"
-        else (expand_step, merge_step)
+    # An empty checkpoint means the interrupted run never finished
+    # seeding, so resuming from it must seed from scratch.
+    resume = list(resume_from) if resume_from is not None else None
+    if not resume:
+        resume = None
+    components: list[set] = (
+        [] if resume is None else [set(c) for c in resume]
     )
-    while True:
-        before = {frozenset(c) for c in components}
-        components = second(first(components))
-        after = {frozenset(c) for c in components}
-        timer.count("rounds")
-        if after == before:
-            break
+
+    def stopped(status: str) -> VCCResult:
+        obs.count(
+            "resilience.deadline_stops"
+            if status == "deadline"
+            else "resilience.interrupts"
+        )
+        with timer.phase("finalize"):
+            final = _finalize(components, k)
+        return VCCResult(
+            final,
+            k=k,
+            algorithm=name,
+            timer=timer,
+            status=status,
+            checkpoint=[frozenset(c) for c in components],
+        )
+
+    if budget.expired():
+        return stopped("deadline")
+    try:
+        with timer.phase("kcore"):
+            core = k_core(graph, k)
+        if core.num_vertices <= k:
+            return VCCResult([], k=k, algorithm=name, timer=timer)
+
+        if resume is None:
+            if budget.expired():
+                return stopped("deadline")
+            with timer.phase("seeding"):
+                seeds = SEEDERS[seeding](core, k, alpha, timer)
+            if not seeds:
+                return VCCResult([], k=k, algorithm=name, timer=timer)
+            components = [set(seed) for seed in seeds]
+        if budget.expired():
+            return stopped("deadline")
+
+        expand = EXPANDERS[expansion]
+        merge_condition = MERGERS[merging]
+
+        def merge_step(pool: list[set]) -> list[set]:
+            with timer.phase("merging"):
+                return merging_mod.merge_components(
+                    core, k, pool, merge_condition, timer=timer
+                )
+
+        def expand_step(pool: list[set]) -> list[set]:
+            with timer.phase("expansion"):
+                return [
+                    expand(core, k, comp, me_hops, timer) for comp in pool
+                ]
+
+        first, second = (
+            (merge_step, expand_step)
+            if order == "merge_first"
+            else (expand_step, merge_step)
+        )
+        while True:
+            before = {frozenset(c) for c in components}
+            components = first(components)
+            if budget.expired():
+                return stopped("deadline")
+            components = second(components)
+            after = {frozenset(c) for c in components}
+            timer.count("rounds")
+            if after == before:
+                break
+            if budget.expired():
+                return stopped("deadline")
+    except KeyboardInterrupt:
+        # Partial results are still valid k-VCS supersets: hand them
+        # back instead of unwinding with a traceback (the CLI turns
+        # this status into exit code 130).
+        return stopped("interrupted")
 
     with timer.phase("finalize"):
         final = _finalize(components, k)

@@ -13,9 +13,16 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import ParseError
+from repro.errors import ParameterError, ParseError
 
-__all__ = ["PhaseTimer", "VCCResult"]
+__all__ = ["RESULT_STATUSES", "PhaseTimer", "VCCResult"]
+
+#: Valid values of :attr:`VCCResult.status`. ``completed`` is a full
+#: enumeration; ``deadline`` and ``interrupted`` are clean partial stops
+#: (components found so far, checkpoint for resumption); ``degraded``
+#: is a full enumeration that lost its worker pool along the way and
+#: finished in-process.
+RESULT_STATUSES = ("completed", "deadline", "degraded", "interrupted")
 
 
 class PhaseTimer:
@@ -114,23 +121,47 @@ class VCCResult:
         Human-readable name of the configuration that produced this.
     timer:
         Phase timings and counters collected during the run.
+    status:
+        One of :data:`RESULT_STATUSES` — how the run ended.
+    checkpoint:
+        For partial runs, the raw component pool at the stop point
+        (supersets-in-progress, not yet finalized); feed it back via
+        ``resume_from=`` to continue the enumeration. ``None`` for
+        completed runs.
     """
 
     components: list[frozenset]
     k: int
     algorithm: str
     timer: PhaseTimer = field(default_factory=PhaseTimer)
+    status: str = "completed"
+    checkpoint: list[frozenset] | None = None
 
     def __post_init__(self) -> None:
+        if self.status not in RESULT_STATUSES:
+            raise ParameterError(
+                f"status must be one of {RESULT_STATUSES}, "
+                f"got {self.status!r}"
+            )
         self.components = sorted(
             (frozenset(c) for c in self.components),
             key=lambda c: (-len(c), sorted(map(repr, c))),
         )
+        if self.checkpoint is not None:
+            self.checkpoint = sorted(
+                (frozenset(c) for c in self.checkpoint),
+                key=lambda c: (-len(c), sorted(map(repr, c))),
+            )
 
     @property
     def num_components(self) -> int:
         """How many components were enumerated."""
         return len(self.components)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the run stopped before enumerating everything."""
+        return self.status in ("deadline", "interrupted")
 
     def covered_vertices(self) -> set:
         """Union of all component vertex sets."""
@@ -153,10 +184,15 @@ class VCCResult:
         payload = {
             "algorithm": self.algorithm,
             "k": self.k,
+            "status": self.status,
             "components": [sorted(c, key=repr) for c in self.components],
             "phases": self.timer.phases,
             "counters": self.timer.counters,
         }
+        if self.checkpoint is not None:
+            payload["checkpoint"] = [
+                sorted(c, key=repr) for c in self.checkpoint
+            ]
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -171,11 +207,18 @@ class VCCResult:
                 timer._seconds[str(name)] = float(seconds)
             for name, value in payload.get("counters", {}).items():
                 timer._counters[str(name)] = int(value)
+            checkpoint = payload.get("checkpoint")
             return cls(
                 components=[frozenset(c) for c in payload["components"]],
                 k=payload["k"],
                 algorithm=payload["algorithm"],
                 timer=timer,
+                status=str(payload.get("status", "completed")),
+                checkpoint=(
+                    None
+                    if checkpoint is None
+                    else [frozenset(c) for c in checkpoint]
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ParseError(f"not a valid VCCResult document: {exc}") from exc
@@ -185,8 +228,9 @@ class VCCResult:
         sizes = ", ".join(str(len(c)) for c in self.components[:8])
         if len(self.components) > 8:
             sizes += ", …"
+        note = "" if self.status == "completed" else f" [{self.status}]"
         return (
             f"{self.algorithm}: {self.num_components} {self.k}-VCC(s) "
             f"covering {len(self.covered_vertices())} vertices "
-            f"(sizes: {sizes or 'none'})"
+            f"(sizes: {sizes or 'none'}){note}"
         )

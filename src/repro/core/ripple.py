@@ -8,10 +8,13 @@ h-hop Multiple Expansion (Table IV's RIPPLE-ME); the three
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.pipeline import bottom_up_pipeline
 from repro.core.result import VCCResult
 from repro.core.seeding import DEFAULT_ALPHA
 from repro.graph.adjacency import Graph
+from repro.resilience.deadline import Deadline
 
 __all__ = [
     "ripple",
@@ -23,9 +26,17 @@ __all__ = [
 
 
 def ripple(
-    graph: Graph, k: int, alpha: int = DEFAULT_ALPHA
+    graph: Graph,
+    k: int,
+    alpha: int = DEFAULT_ALPHA,
+    deadline: Deadline | float | None = None,
+    resume_from: Iterable[frozenset] | None = None,
 ) -> VCCResult:
     """Enumerate k-VCCs with RIPPLE (QkVCS + FBM + RME).
+
+    ``deadline`` bounds the run's wall clock (partial results with
+    ``status="deadline"`` past it) and ``resume_from`` continues from a
+    partial result's ``checkpoint``.
 
     >>> from repro.graph import community_graph
     >>> g = community_graph([10, 10], k=3, seed=1)
@@ -41,6 +52,8 @@ def ripple(
         merging="fbm",
         alpha=alpha,
         algorithm_name="RIPPLE",
+        deadline=deadline,
+        resume_from=resume_from,
     )
 
 
@@ -49,6 +62,7 @@ def ripple_me(
     k: int,
     hops: int | None = 1,
     alpha: int = DEFAULT_ALPHA,
+    deadline: Deadline | float | None = None,
 ) -> VCCResult:
     """RIPPLE-ME: exact Multiple Expansion restricted to ``hops`` rings.
 
@@ -64,6 +78,7 @@ def ripple_me(
         alpha=alpha,
         me_hops=hops,
         algorithm_name="RIPPLE-ME",
+        deadline=deadline,
     )
 
 

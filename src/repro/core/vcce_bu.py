@@ -13,12 +13,16 @@ from repro.core.pipeline import bottom_up_pipeline
 from repro.core.result import VCCResult
 from repro.core.seeding import DEFAULT_ALPHA
 from repro.graph.adjacency import Graph
+from repro.resilience.deadline import Deadline
 
 __all__ = ["vcce_bu"]
 
 
 def vcce_bu(
-    graph: Graph, k: int, alpha: int = DEFAULT_ALPHA
+    graph: Graph,
+    k: int,
+    alpha: int = DEFAULT_ALPHA,
+    deadline: Deadline | float | None = None,
 ) -> VCCResult:
     """Enumerate k-VCCs with the VCCE-BU baseline (LkVCS + UE + NBM).
 
@@ -34,4 +38,5 @@ def vcce_bu(
         merging="nbm",
         alpha=alpha,
         algorithm_name="VCCE-BU",
+        deadline=deadline,
     )

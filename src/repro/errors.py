@@ -7,7 +7,13 @@ swallowing unrelated bugs.
 
 from __future__ import annotations
 
-__all__ = ["GraphError", "ParameterError", "ParseError", "ReproError"]
+__all__ = [
+    "GraphError",
+    "GraphFormatError",
+    "ParameterError",
+    "ParseError",
+    "ReproError",
+]
 
 
 class ReproError(Exception):
@@ -24,6 +30,29 @@ class GraphError(ReproError):
 
 class ParseError(ReproError):
     """Raised when an on-disk graph representation cannot be parsed."""
+
+
+class GraphFormatError(ParseError):
+    """A malformed edge list, located by source name and line number.
+
+    ``source`` is the file name (or ``None`` for in-memory input) and
+    ``lineno`` the 1-based offending line; both are also baked into the
+    message so a bare ``print(exc)`` tells the user where to look.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        lineno: int | None = None,
+    ) -> None:
+        self.source = source
+        self.lineno = lineno
+        where = source if source is not None else "<edge list>"
+        if lineno is not None:
+            where = f"{where}, line {lineno}"
+        super().__init__(f"{where}: {message}")
 
 
 class ParameterError(ReproError, ValueError):

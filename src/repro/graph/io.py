@@ -4,6 +4,13 @@ Supports the whitespace-separated edge-list format used by SNAP and the
 Network Repository (one ``u v`` pair per line, ``#`` or ``%`` comments).
 Self-loops in input files are rejected by default because the k-VCC
 machinery is defined on simple graphs; parallel edges collapse silently.
+
+Malformed input raises :class:`repro.errors.GraphFormatError` carrying
+the source name and 1-based line number, never a bare ``ValueError``
+traceback. The default policy is forgiving (string labels allowed,
+extra columns ignored, bare labels declare isolated vertices);
+``strict=True`` locks the format down to exactly two integer tokens
+per data line for pipelines that must catch corrupted exports early.
 """
 
 from __future__ import annotations
@@ -11,14 +18,18 @@ from __future__ import annotations
 import os
 from collections.abc import Iterable
 
-from repro.errors import GraphError, ParseError
+from repro.errors import GraphError, GraphFormatError
 from repro.graph.adjacency import Graph
 
 __all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
 
 
 def parse_edge_list(
-    lines: Iterable[str], *, allow_self_loops: bool = False
+    lines: Iterable[str],
+    *,
+    allow_self_loops: bool = False,
+    strict: bool = False,
+    source: str | None = None,
 ) -> Graph:
     """Build a graph from an iterable of edge-list lines.
 
@@ -27,6 +38,13 @@ def parse_edge_list(
     look like integers are stored as ``int``; anything else stays a
     string. With ``allow_self_loops`` set, self-loop lines are silently
     dropped instead of raising (some public datasets contain them).
+
+    ``strict`` rejects anything but two integer tokens per data line
+    (truncated lines, trailing weight columns, non-integer labels).
+    ``source`` names the input in error messages (set automatically by
+    :func:`read_edge_list`). All rejections raise
+    :class:`~repro.errors.GraphFormatError` with the offending line
+    number.
     """
     graph = Graph()
     for lineno, raw in enumerate(lines, start=1):
@@ -34,38 +52,72 @@ def parse_edge_list(
         if not line or line.startswith(("#", "%")):
             continue
         parts = line.split()
+        if strict and len(parts) != 2:
+            raise GraphFormatError(
+                f"expected exactly 2 tokens, got {len(parts)}: {line!r}",
+                source=source,
+                lineno=lineno,
+            )
         if len(parts) == 1:
             # A bare label declares an isolated vertex (lossless
             # round-tripping of graphs with degree-0 vertices).
-            graph.add_vertex(_coerce(parts[0]))
+            graph.add_vertex(_coerce(parts[0], strict, source, lineno))
             continue
-        u, v = _coerce(parts[0]), _coerce(parts[1])
+        u = _coerce(parts[0], strict, source, lineno)
+        v = _coerce(parts[1], strict, source, lineno)
         if u == v:
             if allow_self_loops:
                 graph.add_vertex(u)
                 continue
-            raise ParseError(f"line {lineno}: self-loop on {u!r}")
+            raise GraphFormatError(
+                f"self-loop on {u!r}", source=source, lineno=lineno
+            )
         try:
             graph.add_edge(u, v)
         except GraphError as exc:  # pragma: no cover - defensive
-            raise ParseError(f"line {lineno}: {exc}") from exc
+            raise GraphFormatError(
+                str(exc), source=source, lineno=lineno
+            ) from exc
     return graph
 
 
-def _coerce(token: str):
-    """Interpret a vertex token as int when possible, else keep the string."""
+def _coerce(token: str, strict: bool, source: str | None, lineno: int):
+    """Interpret a vertex token as int when possible, else keep the string.
+
+    In strict mode a non-integer token is a format error instead.
+    """
     try:
         return int(token)
     except ValueError:
+        if strict:
+            raise GraphFormatError(
+                f"non-integer vertex token {token!r}",
+                source=source,
+                lineno=lineno,
+            ) from None
         return token
 
 
 def read_edge_list(
-    path: str | os.PathLike, *, allow_self_loops: bool = False
+    path: str | os.PathLike,
+    *,
+    allow_self_loops: bool = False,
+    strict: bool = False,
 ) -> Graph:
-    """Read a graph from an edge-list file."""
+    """Read a graph from an edge-list file.
+
+    Parse failures raise :class:`~repro.errors.GraphFormatError` naming
+    the file and line; unreadable or non-text files surface as
+    ``OSError`` / ``UnicodeDecodeError`` from the ``open`` call.
+    """
+    source = os.fspath(path)
     with open(path, encoding="utf-8") as handle:
-        return parse_edge_list(handle, allow_self_loops=allow_self_loops)
+        return parse_edge_list(
+            handle,
+            allow_self_loops=allow_self_loops,
+            strict=strict,
+            source=source,
+        )
 
 
 def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:

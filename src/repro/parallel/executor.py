@@ -17,11 +17,20 @@ once via its initializer, and tasks ship only vertex sets. A thread
 backend is kept for measuring the task decomposition without process
 overhead; with it, wall-clock speedups are bounded near 1 by the GIL,
 which the Figure 10 bench reports explicitly.
+
+All dispatch goes through :class:`repro.resilience.SupervisedPool`:
+worker crashes rebuild the pool and re-dispatch the in-flight work,
+hung tasks time out, garbage results are caught by per-stage
+validators, and repeated failures degrade the run to in-process
+sequential execution — same components, no parallelism. A
+:class:`repro.resilience.Deadline` is honoured at stage boundaries and
+yields a partial result with a resumable checkpoint.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro import obs
@@ -33,6 +42,8 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.cliques import cliques_from_roots
 from repro.graph.kcore import degeneracy_ordering, k_core
+from repro.resilience.deadline import Deadline, as_deadline
+from repro.resilience.supervisor import SupervisedPool, SupervisionConfig
 
 __all__ = ["parallel_ripple", "ParallelConfig"]
 
@@ -105,6 +116,38 @@ def _absorb(snapshot: dict) -> None:
     obs.get_collector().merge(snapshot)
 
 
+# Per-stage result validators for the supervised pool: a worker that
+# returns garbage (fault injection, memory corruption, a mismatched
+# pickle) is detected here and treated like a crash — retried, never
+# folded into the component pool.
+
+
+def _is_snapshot_pair(value) -> bool:
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], dict)
+    )
+
+
+def _valid_expand(value) -> bool:
+    return _is_snapshot_pair(value) and isinstance(value[0], frozenset)
+
+
+def _valid_merge(value) -> bool:
+    return _is_snapshot_pair(value) and isinstance(value[0], bool)
+
+
+def _valid_cliques(value) -> bool:
+    return _is_snapshot_pair(value) and isinstance(value[0], list)
+
+
+def _valid_lkvcs(value) -> bool:
+    return _is_snapshot_pair(value) and (
+        value[0] is None or isinstance(value[0], frozenset)
+    )
+
+
 class ParallelConfig:
     """How to run the pool: worker count and backend.
 
@@ -146,38 +189,101 @@ def parallel_ripple(
     k: int,
     config: ParallelConfig | None = None,
     alpha: int = 1000,
+    supervision: SupervisionConfig | None = None,
+    deadline: Deadline | float | None = None,
+    resume_from: Iterable[frozenset] | None = None,
 ) -> VCCResult:
-    """RIPPLE with its three stages fanned out over a worker pool.
+    """RIPPLE with its three stages fanned out over a supervised pool.
 
     Produces the same components as :func:`repro.core.ripple` up to
-    heuristic tie-breaking; the value under test is the wall-clock
-    scaling of Figure 10.
+    heuristic tie-breaking — including under worker crashes, hangs, and
+    garbage results, which the supervision layer recovers from
+    (``supervision`` tunes timeouts/retries; the result's ``status``
+    reports ``"degraded"`` when the pool had to fall back to sequential
+    execution). ``deadline`` bounds the wall clock: past it the run
+    stops at the next stage boundary with ``status="deadline"`` and a
+    resumable ``checkpoint`` (pass it back via ``resume_from``).
     """
     if k < 2:
         raise ParameterError(f"k must be >= 2, got {k}")
     config = config or ParallelConfig()
+    budget = as_deadline(deadline)
     timer = PhaseTimer()
     name = f"RIPPLE-parallel[{config.backend} x{config.workers}]"
+    # An empty checkpoint means the interrupted run never finished
+    # seeding, so resuming from it must seed from scratch.
+    resume = list(resume_from) if resume_from is not None else None
+    if not resume:
+        resume = None
+    components: list[set] = (
+        [] if resume is None else [set(c) for c in resume]
+    )
 
-    with timer.phase("kcore"):
-        core = k_core(graph, k)
-    if core.num_vertices <= k:
-        return VCCResult([], k=k, algorithm=name, timer=timer)
+    def partial(status: str) -> VCCResult:
+        obs.count(
+            "resilience.deadline_stops"
+            if status == "deadline"
+            else "resilience.interrupts"
+        )
+        with timer.phase("finalize"):
+            final = _finalize(components, k)
+        return VCCResult(
+            final,
+            k=k,
+            algorithm=name,
+            timer=timer,
+            status=status,
+            checkpoint=[frozenset(c) for c in components],
+        )
 
-    with config.make_pool(core, k) as pool:
-        with timer.phase("seeding"):
-            components = _parallel_seeding(pool, core, k, alpha, config, timer)
-        if components:
-            components = _merge_expand_loop(
-                pool, core, k, components, timer
-            )
+    if budget.expired():
+        return partial("deadline")
+    expired = False
+    degraded = False
+    try:
+        with timer.phase("kcore"):
+            core = k_core(graph, k)
+        if core.num_vertices <= k:
+            return VCCResult([], k=k, algorithm=name, timer=timer)
+
+        spool = SupervisedPool(
+            make_pool=lambda: config.make_pool(core, k),
+            install_local=lambda: _init_worker(core, k),
+            backend=config.backend,
+            supervision=supervision,
+        )
+        with spool:
+            if resume is None:
+                if budget.expired():
+                    return partial("deadline")
+                with timer.phase("seeding"):
+                    components = _parallel_seeding(
+                        spool, core, k, alpha, config, timer
+                    )
+            if budget.expired():
+                return partial("deadline")
+            if components:
+                components, expired = _merge_expand_loop(
+                    spool, core, k, components, timer, budget
+                )
+            degraded = spool.degraded
+    except KeyboardInterrupt:
+        return partial("interrupted")
+    if expired:
+        return partial("deadline")
     with timer.phase("finalize"):
         final = _finalize(components, k)
-    return VCCResult(final, k=k, algorithm=name, timer=timer)
+    return VCCResult(
+        final,
+        k=k,
+        algorithm=name,
+        timer=timer,
+        status="degraded" if degraded else "completed",
+    )
 
 
 def _parallel_seeding(
-    pool: Executor,
+    spool: SupervisedPool,
     core: Graph,
     k: int,
     alpha: int,
@@ -191,15 +297,20 @@ def _parallel_seeding(
     payloads = [
         (position, chunk) for chunk in _chunks(order, 4 * config.workers)
     ]
-    for cliques, stats in pool.map(_clique_roots_task, payloads):
+    for cliques, stats in spool.run(
+        "seeding.cliques", _clique_roots_task, payloads, validate=_valid_cliques
+    ):
         _absorb(stats)
         seeds.extend(set(c) for c in cliques)
     covered: set = set().union(*seeds) if seeds else set()
     uncovered = sorted(
         (u for u in core.vertices() if u not in covered), key=core.degree
     )
-    for found, stats in pool.map(
-        _lkvcs_task, [(u, alpha) for u in uncovered]
+    for found, stats in spool.run(
+        "seeding.lkvcs",
+        _lkvcs_task,
+        [(u, alpha) for u in uncovered],
+        validate=_valid_lkvcs,
     ):
         _absorb(stats)
         # Results arrive in submission order; respecting prior coverage
@@ -211,32 +322,44 @@ def _parallel_seeding(
 
 
 def _merge_expand_loop(
-    pool: Executor,
+    spool: SupervisedPool,
     core: Graph,
     k: int,
     components: list[set],
     timer: PhaseTimer,
-) -> list[set]:
-    """Alternate parallel FBM rounds and parallel RME until stable."""
+    budget: Deadline,
+) -> tuple[list[set], bool]:
+    """Alternate parallel FBM rounds and parallel RME until stable.
+
+    Returns ``(components, expired)`` — ``expired`` flags a deadline
+    stop at a stage boundary, with ``components`` the partial pool.
+    """
     while True:
         before = {frozenset(c) for c in components}
         with timer.phase("merging"):
-            components = _parallel_merge(pool, core, k, components, timer)
+            components = _parallel_merge(spool, core, k, components, timer)
+        if budget.expired():
+            return components, True
         with timer.phase("expansion"):
             expanded = []
-            for grown, stats in pool.map(
-                _expand_task, [frozenset(c) for c in components]
+            for grown, stats in spool.run(
+                "expansion",
+                _expand_task,
+                [frozenset(c) for c in components],
+                validate=_valid_expand,
             ):
                 _absorb(stats)
                 expanded.append(set(grown))
             components = expanded
         timer.count("rounds")
         if {frozenset(c) for c in components} == before:
-            return components
+            return components, False
+        if budget.expired():
+            return components, True
 
 
 def _parallel_merge(
-    pool: Executor,
+    spool: SupervisedPool,
     core: Graph,
     k: int,
     components: list[set],
@@ -257,12 +380,14 @@ def _parallel_merge(
         ]
         if not candidates:
             return pool_sets
-        verdicts = pool.map(
+        verdicts = spool.run(
+            "merging",
             _merge_pair_task,
             [
                 (frozenset(pool_sets[i]), frozenset(pool_sets[j]))
                 for i, j in candidates
             ],
+            validate=_valid_merge,
         )
         parent = list(range(len(pool_sets)))
 

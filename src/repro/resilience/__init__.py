@@ -1,0 +1,33 @@
+"""Supervised execution: deadlines, fault injection, pool recovery.
+
+The reliability layer the parallel pipeline runs on (see
+``docs/robustness.md``):
+
+* :class:`Deadline` — a cooperative run-wide wall-clock budget, checked
+  at stage boundaries; expiry yields a partial result, not an abort;
+* :class:`SupervisedPool` / :class:`SupervisionConfig` — per-task
+  timeouts, bounded retries, ``BrokenProcessPool`` recovery, and
+  graceful degradation to in-process execution;
+* :class:`FaultPlan` / ``REPRO_FAULT`` — deterministic fault injection
+  so every recovery path above is exercised by tests.
+"""
+
+from repro.resilience.deadline import Deadline, as_deadline
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+)
+from repro.resilience.supervisor import SupervisedPool, SupervisionConfig
+
+__all__ = [
+    "Deadline",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "SupervisedPool",
+    "SupervisionConfig",
+    "as_deadline",
+]

@@ -1,0 +1,112 @@
+"""Run-wide wall-clock budgets checked at stage boundaries.
+
+A :class:`Deadline` is *cooperative*: nothing is killed when it
+expires. The pipeline drivers (:func:`repro.core.bottom_up_pipeline`,
+:func:`repro.parallel.parallel_ripple`) and the bench harness poll it
+at stage boundaries — after the k-core cut, after seeding, and after
+every merge/expand half-round — and stop cleanly at the first expired
+check, returning a partial :class:`~repro.core.result.VCCResult` whose
+``status`` is ``"deadline"`` and whose ``checkpoint`` carries the
+component pool for resumption (``resume_from=``).
+
+The clock is injectable so tests can expire a deadline after an exact
+number of boundary checks instead of racing real time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.errors import ParameterError
+
+__all__ = ["Deadline", "as_deadline"]
+
+
+class Deadline:
+    """A wall-clock budget starting at construction time.
+
+    ``seconds=None`` means unlimited: :meth:`expired` is always false
+    and :meth:`remaining` returns ``None``.
+
+    >>> Deadline(None).expired()
+    False
+    >>> Deadline(0).expired()
+    True
+    """
+
+    __slots__ = ("_clock", "_limit", "_start")
+
+    def __init__(
+        self,
+        seconds: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ParameterError(
+                f"deadline seconds must be >= 0 or None, got {seconds}"
+            )
+        self._clock = clock
+        self._limit = None if seconds is None else float(seconds)
+        self._start = clock()
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    @property
+    def limit(self) -> float | None:
+        """The budget in seconds (``None`` when unlimited)."""
+        return self._limit
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (clamped at 0; ``None`` if unlimited)."""
+        if self._limit is None:
+            return None
+        return max(0.0, self._limit - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._limit is not None and self.elapsed() >= self._limit
+
+    def clamp(self, timeout: float | None) -> float | None:
+        """Combine a per-task timeout with the remaining budget.
+
+        Returns the smaller of ``timeout`` and :meth:`remaining`
+        (``None`` means unbounded on both sides).
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            return timeout
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._limit is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self._limit}s, {self.elapsed():.3f}s elapsed)"
+
+
+def as_deadline(value: "Deadline | float | None") -> Deadline:
+    """Coerce an API argument into a :class:`Deadline`.
+
+    Accepts an existing deadline (returned as-is, so one budget can be
+    shared across several calls), a number of seconds, or ``None`` for
+    unlimited.
+    """
+    if isinstance(value, Deadline):
+        return value
+    if value is None:
+        return Deadline(None)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Deadline(float(value))
+    raise ParameterError(
+        f"deadline must be a Deadline, seconds, or None, got {value!r}"
+    )

@@ -1,0 +1,213 @@
+"""Deterministic fault injection for the supervised worker pool.
+
+Every recovery path in :mod:`repro.resilience.supervisor` is exercised
+in tier-1 tests instead of trusted, by *arming* faults on specific
+dispatches. A :class:`FaultPlan` is a list of :class:`FaultSpec`
+entries, each matching a named stage (``"expansion"``, ``"merging"``,
+``"seeding.cliques"``, ``"seeding.lkvcs"`` — or ``"*"``) and a task
+index within that stage (or ``"*"`` for any). The orchestrator draws
+from the plan *at dispatch time*, so the bookkeeping is single-threaded
+and deterministic: a spec with ``times=1`` faults exactly the first
+matching dispatch and the retry runs clean.
+
+Fault modes:
+
+``crash``
+    The worker process dies hard (``os._exit``), producing a
+    ``BrokenProcessPool``. Under the thread backend (where killing the
+    process would kill the suite) it degrades to ``raise``.
+``raise``
+    The task raises :class:`FaultInjected`.
+``hang``
+    The task sleeps for ``hang_seconds`` before answering, tripping the
+    per-task timeout.
+``garbage``
+    The task returns a malformed payload, tripping result validation.
+
+The plan can come from the environment::
+
+    REPRO_FAULT="expansion:0:crash" ripple enumerate g.txt -k 4 \
+        --algorithm parallel-ripple
+
+The spec grammar is ``stage:index:mode[:times]``, comma-separated;
+``times`` defaults to 1 and ``*`` means every matching dispatch.
+``REPRO_FAULT_HANG_SECONDS`` tunes the hang duration (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ENV_FAULT",
+    "ENV_HANG_SECONDS",
+    "FAULT_MODES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+]
+
+ENV_FAULT = "REPRO_FAULT"
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+
+FAULT_MODES = ("crash", "raise", "hang", "garbage")
+
+#: Sentinel returned by a ``garbage`` fault — anything that fails the
+#: stage's result validation would do; a bare string is maximally wrong.
+GARBAGE = "__repro_fault_garbage__"
+
+#: How many times ``times="*"`` is stored internally (effectively
+#: unlimited for any realistic run).
+UNLIMITED = -1
+
+
+class FaultSpecError(ReproError):
+    """Raised when a ``REPRO_FAULT`` spec string cannot be parsed."""
+
+
+class FaultInjected(ReproError):
+    """The error raised inside a worker by a ``raise`` (or thread-mode
+    ``crash``) fault. Deriving from :class:`ReproError` keeps it out of
+    the "unexpected exception" bucket in logs, but the supervisor treats
+    it exactly like any other task failure."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: which dispatches it hits and how it misbehaves."""
+
+    stage: str
+    index: int | None  # None matches any task index
+    mode: str
+    times: int = 1  # UNLIMITED (-1) means every matching dispatch
+    fired: int = field(default=0, compare=False)
+
+    def matches(self, stage: str, index: int) -> bool:
+        if self.times != UNLIMITED and self.fired >= self.times:
+            return False
+        if self.stage != "*" and self.stage != stage:
+            return False
+        return self.index is None or self.index == index
+
+    def describe(self) -> str:
+        index = "*" if self.index is None else str(self.index)
+        times = "*" if self.times == UNLIMITED else str(self.times)
+        return f"{self.stage}:{index}:{self.mode}:{times}"
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, drawn down at dispatch time."""
+
+    def __init__(
+        self,
+        specs: list[FaultSpec] | None = None,
+        *,
+        hang_seconds: float = 30.0,
+    ) -> None:
+        self.specs = list(specs or [])
+        self.hang_seconds = float(hang_seconds)
+
+    @classmethod
+    def parse(
+        cls, text: str, *, hang_seconds: float = 30.0
+    ) -> "FaultPlan":
+        """Parse a comma-separated ``stage:index:mode[:times]`` string."""
+        specs = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            specs.append(cls._parse_spec(chunk))
+        return cls(specs, hang_seconds=hang_seconds)
+
+    @staticmethod
+    def _parse_spec(chunk: str) -> FaultSpec:
+        parts = chunk.split(":")
+        if len(parts) not in (3, 4):
+            raise FaultSpecError(
+                f"bad fault spec {chunk!r}: expected stage:index:mode[:times]"
+            )
+        stage, index_text, mode = parts[0], parts[1], parts[2]
+        if not stage:
+            raise FaultSpecError(f"bad fault spec {chunk!r}: empty stage")
+        if mode not in FAULT_MODES:
+            raise FaultSpecError(
+                f"bad fault spec {chunk!r}: mode must be one of "
+                f"{', '.join(FAULT_MODES)}"
+            )
+        if index_text == "*":
+            index: int | None = None
+        else:
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad fault spec {chunk!r}: index must be an int or '*'"
+                ) from None
+            if index < 0:
+                raise FaultSpecError(
+                    f"bad fault spec {chunk!r}: index must be >= 0"
+                )
+        times = 1
+        if len(parts) == 4:
+            if parts[3] == "*":
+                times = UNLIMITED
+            else:
+                try:
+                    times = int(parts[3])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad fault spec {chunk!r}: times must be an int or '*'"
+                    ) from None
+                if times < 1:
+                    raise FaultSpecError(
+                        f"bad fault spec {chunk!r}: times must be >= 1"
+                    )
+        return FaultSpec(stage=stage, index=index, mode=mode, times=times)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """Build a plan from ``REPRO_FAULT``, or ``None`` when unset."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(ENV_FAULT, "").strip()
+        if not text:
+            return None
+        hang_text = environ.get(ENV_HANG_SECONDS, "").strip()
+        try:
+            hang_seconds = float(hang_text) if hang_text else 30.0
+        except ValueError:
+            raise FaultSpecError(
+                f"bad {ENV_HANG_SECONDS} value {hang_text!r}: not a number"
+            ) from None
+        return cls.parse(text, hang_seconds=hang_seconds)
+
+    def draw(self, stage: str, index: int) -> str | None:
+        """The fault mode armed for this dispatch, consuming one firing.
+
+        Deterministic: specs are consulted in declaration order and each
+        spec fires at most ``times`` dispatches.
+        """
+        for spec in self.specs:
+            if spec.matches(stage, index):
+                spec.fired += 1
+                return spec.mode
+        return None
+
+    def outstanding(self) -> list[FaultSpec]:
+        """Specs that still have firings left (useful in test asserts)."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.times == UNLIMITED or spec.fired < spec.times
+        ]
+
+    def is_empty(self) -> bool:
+        return not self.specs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ",".join(spec.describe() for spec in self.specs)
+        return f"FaultPlan({body!r})"

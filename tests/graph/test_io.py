@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import GraphFormatError, ParseError
 from repro.graph import (
     Graph,
     parse_edge_list,
@@ -51,6 +51,61 @@ class TestParse:
     def test_parallel_edges_collapse(self):
         g = parse_edge_list(["1 2", "2 1", "1 2"])
         assert g.num_edges == 1
+
+
+class TestFormatErrors:
+    """Malformed input raises GraphFormatError locating the bad line."""
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(["1 2", "3 3"])
+        assert excinfo.value.lineno == 2
+        assert excinfo.value.source is None
+        assert "line 2" in str(excinfo.value)
+
+    def test_comment_lines_still_counted(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(["# header", "", "5 5"])
+        assert excinfo.value.lineno == 3
+
+    def test_is_a_parse_error(self):
+        assert issubclass(GraphFormatError, ParseError)
+
+    def test_strict_rejects_extra_columns(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(["1 2", "1 2 0.5"], strict=True)
+        assert "2 tokens" in str(excinfo.value)
+        assert excinfo.value.lineno == 2
+
+    def test_strict_rejects_truncated_lines(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_list(["7"], strict=True)
+
+    def test_strict_rejects_string_labels(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(["alice bob"], strict=True)
+        assert "'alice'" in str(excinfo.value)
+
+    def test_strict_accepts_clean_input(self):
+        g = parse_edge_list(["1 2", "2 3"], strict=True)
+        assert g.num_edges == 2
+
+    def test_read_edge_list_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n3 3\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            read_edge_list(path)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.lineno == 2
+        assert "bad.txt" in str(excinfo.value)
+        assert "line 2" in str(excinfo.value)
+
+    def test_read_edge_list_strict(self, tmp_path):
+        path = tmp_path / "weights.txt"
+        path.write_text("1 2 0.9\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path, strict=True)
+        assert read_edge_list(path).has_edge(1, 2)
 
 
 class TestRoundTrip:

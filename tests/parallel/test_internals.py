@@ -67,10 +67,10 @@ class TestUnionFindMerge:
         _init_worker(g, 3)
 
         class _Inline:
-            """Minimal executor stub: runs map() inline."""
+            """Minimal SupervisedPool stub: runs tasks inline."""
 
-            def map(self, fn, items):
-                return [fn(item) for item in items]
+            def run(self, stage, fn, payloads, validate=None):
+                return [fn(payload) for payload in payloads]
 
         merged = _parallel_merge(
             _Inline(), g, 3,

@@ -1,0 +1,38 @@
+"""Fixtures for the resilience suite.
+
+The end-to-end recovery tests run against a pool backend chosen by the
+``REPRO_RESILIENCE_BACKEND`` environment variable (the CI fault-injection
+job sets it to run the whole suite under both ``thread`` and ``process``);
+the local default is ``thread`` to keep the tier-1 run fast. Paths that
+only exist on the process backend (pool rebuilds, hung-worker reclaim)
+have dedicated always-process tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ripple
+from repro.graph import planted_kvcc_graph
+
+
+@pytest.fixture
+def backend() -> str:
+    return os.environ.get("REPRO_RESILIENCE_BACKEND", "thread")
+
+
+@pytest.fixture(scope="session")
+def fault_graph():
+    """A planted 2×3-VCC graph that dispatches work in every parallel
+    stage (clique roots, LkVCS fallback, merge pair tests, expansion)."""
+    return planted_kvcc_graph(
+        2, 24, 3, seed=3, periphery_pairs=1, bridge_width=2
+    )
+
+
+@pytest.fixture(scope="session")
+def expected_components(fault_graph):
+    """The unfaulted ground truth every recovered run must reproduce."""
+    return set(ripple(fault_graph, 3).components)

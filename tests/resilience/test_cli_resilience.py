@@ -1,0 +1,147 @@
+"""CLI hardening tests: deadlines, fault env, interrupts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_DEADLINE,
+    EXIT_ERROR,
+    EXIT_INTERRUPT,
+    main,
+)
+from repro.graph import community_graph, write_edge_list
+
+
+@pytest.fixture
+def edge_list(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(community_graph([10, 10], k=3, seed=0), path)
+    return str(path)
+
+
+class TestDeadlineFlag:
+    def test_zero_deadline_exits_3_with_partial_stats(
+        self, edge_list, tmp_path, capsys
+    ):
+        stats = tmp_path / "stats.json"
+        code = main(
+            [
+                "--stats-json", str(stats),
+                "enumerate", edge_list, "-k", "3", "--deadline", "0",
+            ]
+        )
+        assert code == EXIT_DEADLINE
+        out = capsys.readouterr().out
+        assert "[deadline]" in out
+        assert "partial results (deadline)" in out
+        payload = json.loads(stats.read_text())
+        assert payload["status"] == "deadline"
+        assert payload["counters"]["resilience.deadline_stops"] == 1
+
+    def test_zero_deadline_parallel(self, edge_list):
+        code = main(
+            [
+                "enumerate", edge_list, "-k", "3",
+                "--algorithm", "parallel-ripple", "--backend", "thread",
+                "--deadline", "0",
+            ]
+        )
+        assert code == EXIT_DEADLINE
+
+    def test_generous_deadline_completes(self, edge_list, capsys):
+        code = main(
+            ["enumerate", edge_list, "-k", "3", "--deadline", "3600"]
+        )
+        assert code == 0
+        assert "partial results" not in capsys.readouterr().out
+
+    def test_partial_result_json_is_resumable(
+        self, edge_list, tmp_path, capsys
+    ):
+        saved = tmp_path / "partial.json"
+        code = main(
+            [
+                "enumerate", edge_list, "-k", "3",
+                "--deadline", "0", "--json", str(saved),
+            ]
+        )
+        assert code == EXIT_DEADLINE
+        from repro.core.result import VCCResult
+
+        restored = VCCResult.from_json(saved.read_text())
+        assert restored.status == "deadline"
+        assert restored.checkpoint == []
+
+    def test_deadline_ignored_by_exact_algorithm(self, edge_list, capsys):
+        code = main(
+            [
+                "enumerate", edge_list, "-k", "3",
+                "--algorithm", "vcce-td", "--deadline", "0",
+            ]
+        )
+        assert code == 0
+        assert "ignoring" in capsys.readouterr().err
+
+
+class TestFaultEnv:
+    def test_injected_crash_recovers_to_clean_exit(
+        self, edge_list, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "expansion:0:crash")
+        stats = tmp_path / "stats.json"
+        code = main(
+            [
+                "--stats-json", str(stats),
+                "enumerate", edge_list, "-k", "3",
+                "--algorithm", "parallel-ripple", "--backend", "thread",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(stats.read_text())
+        assert payload["status"] == "completed"
+        assert payload["counters"]["resilience.faults_injected"] == 1
+        assert payload["counters"]["resilience.retries"] == 1
+
+    def test_bad_fault_spec_is_a_usage_error(
+        self, edge_list, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "not-a-spec")
+        code = main(
+            [
+                "enumerate", edge_list, "-k", "3",
+                "--algorithm", "parallel-ripple", "--backend", "thread",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "bad fault spec" in capsys.readouterr().err
+
+
+class TestTaskTimeoutFlag:
+    def test_parses_as_float(self, edge_list):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["enumerate", "g.txt", "-k", "3",
+             "--deadline", "1.5", "--task-timeout", "0.25"]
+        )
+        assert args.deadline == 1.5
+        assert args.task_timeout == 0.25
+
+    def test_noted_and_ignored_for_sequential_runs(self, edge_list, capsys):
+        code = main(
+            ["enumerate", edge_list, "-k", "3", "--task-timeout", "5"]
+        )
+        assert code == 0
+        assert "ignoring" in capsys.readouterr().err
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def boom(args, runinfo):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._dispatch", boom)
+        assert main(["datasets"]) == EXIT_INTERRUPT
+        assert "interrupted" in capsys.readouterr().err

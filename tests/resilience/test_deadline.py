@@ -1,0 +1,176 @@
+"""Tests for run-wide deadlines, partial results, and resumption."""
+
+import pytest
+
+from repro import obs
+from repro.core import ripple, vcce_bu
+from repro.core.result import VCCResult
+from repro.errors import ParameterError
+from repro.graph import planted_kvcc_graph
+from repro.parallel import ParallelConfig, parallel_ripple
+from repro.resilience import Deadline, as_deadline
+
+
+class StepClock:
+    """A clock advancing one second per reading: deadlines expire after
+    an exact number of boundary checks instead of racing real time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestDeadline:
+    def test_zero_budget_is_expired(self):
+        assert Deadline(0).expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            Deadline(-1)
+
+    def test_unlimited(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.limit is None
+        assert deadline.remaining() is None
+
+    def test_fake_clock_expiry(self):
+        deadline = Deadline(2.5, clock=StepClock())
+        assert not deadline.expired()  # elapsed 1
+        assert not deadline.expired()  # elapsed 2
+        assert deadline.expired()  # elapsed 3
+
+    def test_elapsed_and_remaining(self):
+        deadline = Deadline(10, clock=StepClock())
+        assert deadline.elapsed() == 1.0
+        assert deadline.remaining() == 8.0  # second reading
+
+    def test_remaining_clamped_at_zero(self):
+        deadline = Deadline(0.5, clock=StepClock())
+        assert deadline.remaining() == 0.0
+
+    def test_clamp_combines_budget_and_timeout(self):
+        assert Deadline.unlimited().clamp(5.0) == 5.0
+        assert Deadline.unlimited().clamp(None) is None
+        deadline = Deadline(10, clock=StepClock())
+        assert deadline.clamp(None) == 9.0  # first reading after start
+        assert deadline.clamp(3.0) == 3.0
+
+    def test_as_deadline_passthrough(self):
+        deadline = Deadline(5)
+        assert as_deadline(deadline) is deadline
+
+    def test_as_deadline_coercions(self):
+        assert as_deadline(None).limit is None
+        assert as_deadline(2).limit == 2.0
+        assert as_deadline(0.25).limit == 0.25
+
+    def test_as_deadline_rejects_bool_and_str(self):
+        with pytest.raises(ParameterError):
+            as_deadline(True)
+        with pytest.raises(ParameterError):
+            as_deadline("10")
+
+
+class TestPipelineDeadline:
+    """Deadlines thread through the sequential and parallel pipelines."""
+
+    def test_zero_deadline_stops_before_any_work(self, fault_graph):
+        with obs.collecting() as collector:
+            result = ripple(fault_graph, 3, deadline=0)
+        assert result.status == "deadline"
+        assert result.is_partial
+        assert result.components == []
+        assert result.checkpoint == []
+        assert collector.counter("resilience.deadline_stops") == 1
+
+    def test_vcce_bu_honors_deadline(self, fault_graph):
+        assert vcce_bu(fault_graph, 3, deadline=0).status == "deadline"
+
+    def test_parallel_zero_deadline(self, fault_graph, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        result = parallel_ripple(fault_graph, 3, config, deadline=0)
+        assert result.status == "deadline"
+        assert result.components == []
+
+    @pytest.mark.parametrize("checks", [2.5, 3.5, 4.5])
+    def test_partial_components_are_monotone(
+        self, fault_graph, expected_components, checks
+    ):
+        """Every partial component is contained in a full-run component:
+        stopping early loses completeness, never correctness."""
+        deadline = Deadline(checks, clock=StepClock())
+        partial = ripple(fault_graph, 3, deadline=deadline)
+        assert partial.status == "deadline"
+        for comp in partial.components:
+            assert any(comp <= full for full in expected_components)
+
+    def test_resume_from_checkpoint_completes_the_run(
+        self, fault_graph, expected_components
+    ):
+        deadline = Deadline(3.5, clock=StepClock())  # expire mid-round
+        partial = ripple(fault_graph, 3, deadline=deadline)
+        assert partial.status == "deadline"
+        assert partial.checkpoint
+        resumed = ripple(fault_graph, 3, resume_from=partial.checkpoint)
+        assert resumed.status == "completed"
+        assert set(resumed.components) == expected_components
+
+    def test_resume_from_empty_checkpoint_restarts(
+        self, fault_graph, expected_components
+    ):
+        """A run stopped before seeding checkpoints nothing; resuming
+        from that must seed from scratch, not return an empty result."""
+        partial = ripple(fault_graph, 3, deadline=0)
+        assert partial.checkpoint == []
+        resumed = ripple(fault_graph, 3, resume_from=partial.checkpoint)
+        assert set(resumed.components) == expected_components
+        config = ParallelConfig(workers=2, backend="thread")
+        resumed = parallel_ripple(fault_graph, 3, config, resume_from=[])
+        assert set(resumed.components) == expected_components
+
+    def test_checkpoint_survives_json(self, fault_graph):
+        deadline = Deadline(2.5, clock=StepClock())
+        partial = ripple(fault_graph, 3, deadline=deadline)
+        restored = VCCResult.from_json(partial.to_json())
+        assert restored.status == "deadline"
+        assert restored.checkpoint == partial.checkpoint
+        resumed = ripple(fault_graph, 3, resume_from=restored.checkpoint)
+        assert set(resumed.components) == set(
+            ripple(fault_graph, 3).components
+        )
+
+    def test_shared_budget_across_calls(self):
+        """as_deadline passes an existing Deadline through, so one
+        budget can govern a whole sweep of enumerations."""
+        graph = planted_kvcc_graph(1, 12, 3, seed=0)
+        deadline = Deadline(0)
+        first = ripple(graph, 3, deadline=deadline)
+        second = vcce_bu(graph, 3, deadline=deadline)
+        assert first.status == second.status == "deadline"
+
+
+class TestResultStatus:
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ParameterError):
+            VCCResult([], k=3, algorithm="x", status="exploded")
+
+    def test_completed_runs_have_no_checkpoint(self, fault_graph):
+        result = ripple(fault_graph, 3)
+        assert result.status == "completed"
+        assert not result.is_partial
+        assert result.checkpoint is None
+        assert "[" not in result.summary()
+
+    def test_summary_flags_partial_runs(self):
+        result = VCCResult([], k=3, algorithm="x", status="deadline")
+        assert "[deadline]" in result.summary()
+
+    def test_json_round_trip_defaults_to_completed(self):
+        result = VCCResult([frozenset({1, 2, 3, 4})], k=3, algorithm="x")
+        restored = VCCResult.from_json(result.to_json())
+        assert restored.status == "completed"
+        assert restored.checkpoint is None

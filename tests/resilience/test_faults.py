@@ -1,0 +1,122 @@
+"""Tests for the deterministic fault-injection plan (repro.resilience.faults)."""
+
+import pytest
+
+from repro.resilience.faults import (
+    ENV_FAULT,
+    ENV_HANG_SECONDS,
+    UNLIMITED,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+)
+
+
+class TestParsing:
+    def test_single_spec(self):
+        plan = FaultPlan.parse("expansion:0:crash")
+        assert plan.specs == [
+            FaultSpec(stage="expansion", index=0, mode="crash", times=1)
+        ]
+
+    def test_times_field(self):
+        plan = FaultPlan.parse("merging:2:raise:3")
+        assert plan.specs[0].times == 3
+
+    def test_wildcard_index_and_times(self):
+        plan = FaultPlan.parse("seeding.cliques:*:garbage:*")
+        spec = plan.specs[0]
+        assert spec.index is None
+        assert spec.times == UNLIMITED
+
+    def test_comma_separated_and_whitespace(self):
+        plan = FaultPlan.parse(" expansion:0:crash , merging:*:hang ,")
+        assert [s.stage for s in plan.specs] == ["expansion", "merging"]
+
+    def test_describe_round_trips(self):
+        text = "expansion:*:crash:*"
+        assert FaultPlan.parse(text).specs[0].describe() == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "expansion",  # too few fields
+            "expansion:0",  # too few fields
+            "expansion:0:crash:1:extra",  # too many fields
+            ":0:crash",  # empty stage
+            "expansion:0:explode",  # unknown mode
+            "expansion:x:crash",  # non-integer index
+            "expansion:-1:crash",  # negative index
+            "expansion:0:crash:x",  # non-integer times
+            "expansion:0:crash:0",  # times < 1
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+
+class TestFromEnv:
+    def test_unset_means_no_plan(self):
+        assert FaultPlan.from_env(environ={}) is None
+
+    def test_blank_means_no_plan(self):
+        assert FaultPlan.from_env(environ={ENV_FAULT: "  "}) is None
+
+    def test_reads_spec_and_hang_seconds(self):
+        plan = FaultPlan.from_env(
+            environ={ENV_FAULT: "expansion:0:hang", ENV_HANG_SECONDS: "2.5"}
+        )
+        assert plan.specs[0].mode == "hang"
+        assert plan.hang_seconds == 2.5
+
+    def test_default_hang_seconds(self):
+        plan = FaultPlan.from_env(environ={ENV_FAULT: "expansion:0:hang"})
+        assert plan.hang_seconds == 30.0
+
+    def test_bad_hang_seconds_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_env(
+                environ={ENV_FAULT: "a:0:crash", ENV_HANG_SECONDS: "soon"}
+            )
+
+
+class TestDraw:
+    def test_one_shot_fires_once(self):
+        plan = FaultPlan.parse("merging:1:crash")
+        assert plan.draw("merging", 0) is None
+        assert plan.draw("merging", 1) == "crash"
+        assert plan.draw("merging", 1) is None
+        assert plan.outstanding() == []
+
+    def test_stage_must_match(self):
+        plan = FaultPlan.parse("merging:0:crash")
+        assert plan.draw("expansion", 0) is None
+        assert plan.draw("merging", 0) == "crash"
+
+    def test_wildcard_stage_matches_everything(self):
+        plan = FaultPlan.parse("*:*:raise:2")
+        assert plan.draw("merging", 3) == "raise"
+        assert plan.draw("expansion", 7) == "raise"
+        assert plan.draw("merging", 8) is None
+
+    def test_times_budget(self):
+        plan = FaultPlan.parse("expansion:*:garbage:2")
+        assert plan.draw("expansion", 0) == "garbage"
+        assert plan.draw("expansion", 1) == "garbage"
+        assert plan.draw("expansion", 2) is None
+
+    def test_unlimited_never_exhausts(self):
+        plan = FaultPlan.parse("expansion:*:raise:*")
+        for index in range(20):
+            assert plan.draw("expansion", index) == "raise"
+        assert plan.outstanding() == plan.specs
+
+    def test_declaration_order(self):
+        plan = FaultPlan.parse("expansion:0:crash,expansion:*:hang")
+        assert plan.draw("expansion", 0) == "crash"
+        assert plan.draw("expansion", 0) == "hang"
+
+    def test_is_empty(self):
+        assert FaultPlan([]).is_empty()
+        assert not FaultPlan.parse("a:0:crash").is_empty()
