@@ -1,0 +1,77 @@
+"""Measure the perf-gate cases and write a committed baseline document.
+
+Usage:
+    python scripts/bench_baseline.py --refresh [--output FILE]
+
+Baselines are committed (``benchmarks/baselines/smoke.json``) so CI
+can gate pull requests without a trusted previous run; the document
+embeds a busy-loop calibration so the comparison normalises away
+machine-speed differences (see ``repro.bench.perfgate``). Refusing to
+overwrite without ``--refresh`` keeps an accidental local run from
+silently moving the goalposts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import perfgate  # noqa: E402
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "baselines"
+    / "smoke.json"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"baseline file to write (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="uninstrumented wall-time repeats per case (default 5)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="required to overwrite an existing baseline file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.output.exists() and not args.refresh:
+        print(
+            f"error: {args.output} exists; pass --refresh to overwrite",
+            file=sys.stderr,
+        )
+        return 2
+
+    document = perfgate.run_suite(repeats=args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline written to {args.output}")
+    for name, case in sorted(document["cases"].items()):
+        print(
+            f"  {name}: wall {case['wall_s']:.6f}s, "
+            f"peak {case['mem_peak_bytes']} bytes"
+        )
+    print(f"  calibration: {document['calibration_s']:.6f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Re-measure the perf-gate cases and compare against a baseline.
+
+Usage:
+    python scripts/bench_compare.py [BASELINE] [--save-current FILE]
+
+Exits 0 when every case stays within tolerance (wall +30%,
+calibration-adjusted; peak traced memory +20%), 1 on any regression
+(with a per-span delta table localising it), 2 on usage errors.
+
+``--inject-slowdown CASE:FACTOR`` multiplies one case's measured wall
+time before the comparison — a test hook proving the gate actually
+trips (used by the test suite and handy for CI dry runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import perfgate  # noqa: E402
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "baselines"
+    / "smoke.json"
+)
+
+
+def _parse_slowdown(spec: str) -> tuple[str, float]:
+    name, _, factor = spec.rpartition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(
+            f"expected CASE:FACTOR, got {spec!r}"
+        )
+    try:
+        value = float(factor)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad factor in {spec!r}"
+        ) from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError("factor must be positive")
+    return name, value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline document (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="uninstrumented wall-time repeats per case (default 5)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=perfgate.WALL_TOLERANCE,
+        help="relative wall regression allowed (default 0.30)",
+    )
+    parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=perfgate.MEM_TOLERANCE,
+        help="relative memory regression allowed (default 0.20)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=_parse_slowdown,
+        metavar="CASE:FACTOR",
+        help="test hook: scale one case's measured wall time",
+    )
+    parser.add_argument(
+        "--save-current",
+        type=Path,
+        metavar="FILE",
+        help="also save the candidate measurement document (CI artifact)",
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="print the per-span delta table even when the gate passes",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = perfgate.load_document(str(args.baseline))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    candidate = perfgate.run_suite(repeats=args.repeats)
+    if args.inject_slowdown is not None:
+        name, factor = args.inject_slowdown
+        case = candidate["cases"].get(name)
+        if case is None:
+            print(
+                f"error: --inject-slowdown names unknown case {name!r}; "
+                f"known: {', '.join(sorted(candidate['cases']))}",
+                file=sys.stderr,
+            )
+            return 2
+        case["wall_s"] = round(case["wall_s"] * factor, 6)
+
+    if args.save_current is not None:
+        args.save_current.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.save_current, "w", encoding="utf-8") as handle:
+            json.dump(candidate, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    verdict = perfgate.compare(
+        baseline,
+        candidate,
+        wall_tolerance=args.wall_tolerance,
+        mem_tolerance=args.mem_tolerance,
+    )
+    print(perfgate.render_report(verdict, verbose_spans=args.spans))
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,23 @@
 """Command-line interface: ``ripple`` (or ``python -m repro``).
 
-Four subcommands:
+Subcommands:
 
 * ``enumerate`` — run any of the algorithms on an edge-list file and
   print (or save as JSON) the k-VCCs;
 * ``verify`` — exactly audit a saved result against its graph
   (connectivity and maximality of every component);
 * ``datasets`` — list the registered benchmark datasets;
-* ``bench`` — regenerate one of the paper's tables/figures as text.
+* ``bench`` — regenerate one of the paper's tables/figures as text;
+* ``stats diff`` — compare two saved ``repro.obs/1`` documents.
 
 The top-level ``--stats`` flag (also accepted after ``enumerate``)
 runs the command under a live :mod:`repro.obs` collector and appends
-the counter/phase tables; ``--stats-json FILE`` saves the same data as
-a ``repro.obs/1`` JSON document (see ``docs/observability.md``).
+the counter/phase tables plus the hierarchical span tree;
+``--stats-json FILE`` saves the same data as a ``repro.obs/1`` JSON
+document; ``--trace-out FILE`` exports the span tree as Chrome
+trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
+``--profile-memory`` additionally records per-span peak traced memory
+via :mod:`tracemalloc` (see ``docs/observability.md``).
 
 Exit codes (see ``docs/robustness.md``): 0 success, 1 verification
 failures, 2 usage/input errors, 3 a ``--deadline`` expired (partial
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tracemalloc
 from collections.abc import Sequence
 
 from repro import obs
@@ -35,6 +41,7 @@ from repro.core.vcce_td import vcce_td
 from repro.datasets.registry import DATASETS
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list
+from repro.obs.spans import render_span_tree, span_totals, to_chrome_trace
 from repro.parallel.executor import ParallelConfig, parallel_ripple
 from repro.resilience import Deadline, SupervisionConfig
 
@@ -183,6 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("experiment", choices=sorted(_BENCHES))
 
+    stats = sub.add_parser(
+        "stats", help="work with saved repro.obs/1 stats documents"
+    )
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+    diff = stats_sub.add_parser(
+        "diff",
+        help="compare two stats documents (phases, counters, spans)",
+    )
+    diff.add_argument("baseline", help="repro.obs/1 JSON (--stats-json)")
+    diff.add_argument("candidate", help="repro.obs/1 JSON to compare")
+
     gen = sub.add_parser(
         "generate",
         help="write a benchmark dataset or planted graph as an edge list",
@@ -223,6 +241,20 @@ def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         default=argparse.SUPPRESS,
         help="also save the collected counters as repro.obs/1 JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="export the span tree as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--profile-memory",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="record per-span peak traced memory (tracemalloc); "
+        "requires --stats, --stats-json, or --trace-out",
     )
 
 
@@ -343,6 +375,92 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_stats_doc(path: str) -> obs.Collector:
+    with open(path, encoding="utf-8") as handle:
+        return obs.Collector.from_json(handle.read())
+
+
+def _fmt_rel(base: float, cand: float) -> str:
+    """``cand`` relative to ``base`` as a signed percentage."""
+    if base == 0:
+        return "n/a" if cand == 0 else "new"
+    return f"{(cand - base) / base:+.1%}"
+
+
+def _cmd_stats_diff(args: argparse.Namespace) -> int:
+    base = _load_stats_doc(args.baseline)
+    cand = _load_stats_doc(args.candidate)
+
+    phase_rows = [
+        [
+            name,
+            f"{base.phases.get(name, 0.0):.6f}",
+            f"{cand.phases.get(name, 0.0):.6f}",
+            _fmt_rel(base.phases.get(name, 0.0), cand.phases.get(name, 0.0)),
+        ]
+        for name in sorted(set(base.phases) | set(cand.phases))
+    ]
+    if phase_rows:
+        print(
+            reporting.render_table(
+                f"Phase seconds: {args.baseline} vs {args.candidate}",
+                ["phase", "baseline", "candidate", "delta"],
+                phase_rows,
+            )
+        )
+    counter_rows = [
+        [
+            name,
+            base.counter(name),
+            cand.counter(name),
+            f"{cand.counter(name) - base.counter(name):+d}",
+        ]
+        for name in sorted(set(base.counters) | set(cand.counters))
+        if base.counter(name) != cand.counter(name)
+    ]
+    if counter_rows:
+        print()
+        print(
+            reporting.render_table(
+                "Counters (only rows that changed)",
+                ["counter", "baseline", "candidate", "delta"],
+                counter_rows,
+            )
+        )
+    elif base.counters or cand.counters:
+        print()
+        print("counters: identical")
+
+    base_spans = span_totals(base.spans.roots) if base.spans else {}
+    cand_spans = span_totals(cand.spans.roots) if cand.spans else {}
+    span_rows = [
+        [
+            name,
+            f"{base_spans.get(name, {}).get('wall', 0.0):.6f}",
+            f"{cand_spans.get(name, {}).get('wall', 0.0):.6f}",
+            _fmt_rel(
+                base_spans.get(name, {}).get("wall", 0.0),
+                cand_spans.get(name, {}).get("wall", 0.0),
+            ),
+            _fmt_rel(
+                base_spans.get(name, {}).get("mem_peak", 0),
+                cand_spans.get(name, {}).get("mem_peak", 0),
+            ),
+        ]
+        for name in sorted(set(base_spans) | set(cand_spans))
+    ]
+    if span_rows:
+        print()
+        print(
+            reporting.render_table(
+                "Span wall seconds / peak memory",
+                ["span", "baseline s", "candidate s", "wall", "mem"],
+                span_rows,
+            )
+        )
+    return 0
+
+
 def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
     if args.command == "enumerate":
         return _cmd_enumerate(args, runinfo)
@@ -352,6 +470,8 @@ def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
         return _cmd_datasets()
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "stats":
+        return _cmd_stats_diff(args)
     return _cmd_bench(args)
 
 
@@ -359,9 +479,10 @@ def _emit_stats(
     collector: obs.Collector,
     show_tables: bool,
     stats_json: str | None,
+    trace_out: str | None = None,
     status: str | None = None,
 ) -> None:
-    """Print the counter/phase tables and/or dump the JSON."""
+    """Print the counter/phase/span tables and/or dump JSON exports."""
     if show_tables:
         counter_rows = [
             [name, value]
@@ -388,6 +509,11 @@ def _emit_stats(
                     phase_rows,
                 )
             )
+        recorder = collector.spans
+        if recorder is not None and not recorder.is_empty():
+            print()
+            print("Run statistics: span tree (repro.obs)")
+            print(render_span_tree(recorder.roots, recorder.dropped))
     if stats_json:
         # The run's end status rides along in the repro.obs/1 document
         # (unknown keys are ignored by Collector.from_json), so a
@@ -399,6 +525,13 @@ def _emit_stats(
         with open(stats_json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"stats saved to {stats_json}")
+    if trace_out:
+        recorder = collector.spans
+        roots = recorder.roots if recorder is not None else []
+        dropped = recorder.dropped if recorder is not None else 0
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(roots, dropped), handle)
+        print(f"trace saved to {trace_out}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -408,22 +541,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     obs.trace.configure_from_env()
     want_stats = getattr(args, "stats", False)
     stats_json = getattr(args, "stats_json", None)
+    trace_out = getattr(args, "trace_out", None)
+    profile_memory = getattr(args, "profile_memory", False)
     runinfo: dict = {}
     try:
-        if want_stats or stats_json:
+        if want_stats or stats_json or trace_out:
             collector = obs.Collector()
+            collector.enable_spans()
+            started_tracemalloc = False
+            if profile_memory and not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracemalloc = True
             try:
                 with obs.collecting(collector):
                     return _dispatch(args, runinfo)
             finally:
                 # Emitted even when the command is unwinding (deadline,
                 # interrupt, error): partial statistics beat none.
+                if started_tracemalloc:
+                    tracemalloc.stop()
                 _emit_stats(
                     collector,
                     want_stats,
                     stats_json,
+                    trace_out,
                     status=runinfo.get("status"),
                 )
+        elif profile_memory:
+            print(
+                "note: --profile-memory needs --stats, --stats-json, or "
+                "--trace-out; ignoring",
+                file=sys.stderr,
+            )
         return _dispatch(args, runinfo)
     except KeyboardInterrupt:
         # The pipelines convert in-flight interrupts into partial

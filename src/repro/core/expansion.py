@@ -116,7 +116,15 @@ def multiple_expansion(
         if not candidates:
             break
         obs.count("expansion.me.rounds")
-        survivors = _shrink_candidates(graph, k, members, candidates, timer)
+        with obs.start_span(
+            "expansion.me.round",
+            members=len(members),
+            candidates=len(candidates),
+        ):
+            survivors = _shrink_candidates(
+                graph, k, members, candidates, timer
+            )
+            obs.set_span_attrs(absorbed=len(survivors))
         obs.count("expansion.me.absorbed", len(survivors))
         obs.count(
             "expansion.me.discarded", len(candidates) - len(survivors)
@@ -182,7 +190,11 @@ def ring_expansion(
     members = set(seed)
     while True:
         obs.count("expansion.rme.rounds")
-        absorbed = _ring_pass(graph, k, members, timer)
+        with obs.start_span(
+            "expansion.rme.round", members=len(members)
+        ):
+            absorbed = _ring_pass(graph, k, members, timer)
+            obs.set_span_attrs(absorbed=len(absorbed))
         obs.count("expansion.rme.absorbed", len(absorbed))
         obs.trace_event(
             "rme.round", members=len(members), absorbed=len(absorbed)
@@ -203,6 +215,8 @@ def _ring_pass(
         r = min(len(graph.neighbors(u) & members), k)
         ring[u] = r
         buckets[r].add(u)
+    # Candidate-ring size on the enclosing expansion.rme.round span.
+    obs.set_span_attrs(ring=len(ring))
 
     absorbed: set = set()
 

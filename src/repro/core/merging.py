@@ -107,27 +107,42 @@ def merge_components(
     timer = timer or PhaseTimer()
     pool = [set(c) for c in components]
     merged_any = True
+    round_no = 0
     while merged_any:
         merged_any = False
+        round_no += 1
         obs.count("merge.rounds")
         obs.trace_event("merge.round", pool=len(pool))
-        pool.sort(key=len, reverse=True)
-        index = 0
-        while index < len(pool):
-            current = pool[index]
-            other_index = index + 1
-            while other_index < len(pool):
-                other = pool[other_index]
-                if _touches(graph, current, other) and condition(
-                    graph, k, current, other, timer
-                ):
-                    current |= other
-                    pool.pop(other_index)
-                    timer.count("merges")
-                    merged_any = True
-                else:
-                    other_index += 1
-            index += 1
+        with obs.start_span(
+            "merge.round", round=round_no, pool=len(pool)
+        ):
+            pool.sort(key=len, reverse=True)
+            index = 0
+            while index < len(pool):
+                current = pool[index]
+                other_index = index + 1
+                while other_index < len(pool):
+                    other = pool[other_index]
+                    if _touches(graph, current, other):
+                        with obs.start_span(
+                            "merge.test",
+                            pair=[index, other_index],
+                            sizes=[len(current), len(other)],
+                        ):
+                            accepted = condition(
+                                graph, k, current, other, timer
+                            )
+                            obs.set_span_attrs(accepted=accepted)
+                    else:
+                        accepted = False
+                    if accepted:
+                        current |= other
+                        pool.pop(other_index)
+                        timer.count("merges")
+                        merged_any = True
+                    else:
+                        other_index += 1
+                index += 1
     return pool
 
 

@@ -165,54 +165,78 @@ def bottom_up_pipeline(
     if budget.expired():
         return stopped("deadline")
     try:
-        with timer.phase("kcore"):
-            core = k_core(graph, k)
-        if core.num_vertices <= k:
-            return VCCResult([], k=k, algorithm=name, timer=timer)
-
-        if resume is None:
-            if budget.expired():
-                return stopped("deadline")
-            with timer.phase("seeding"):
-                seeds = SEEDERS[seeding](core, k, alpha, timer)
-            if not seeds:
+        with obs.start_span(
+            "pipeline.run",
+            algorithm=name,
+            k=k,
+            seeding=seeding,
+            expansion=expansion,
+            merging=merging,
+        ):
+            with timer.phase("kcore", k=k):
+                core = k_core(graph, k)
+            if core.num_vertices <= k:
                 return VCCResult([], k=k, algorithm=name, timer=timer)
-            components = [set(seed) for seed in seeds]
-        if budget.expired():
-            return stopped("deadline")
 
-        expand = EXPANDERS[expansion]
-        merge_condition = MERGERS[merging]
-
-        def merge_step(pool: list[set]) -> list[set]:
-            with timer.phase("merging"):
-                return merging_mod.merge_components(
-                    core, k, pool, merge_condition, timer=timer
-                )
-
-        def expand_step(pool: list[set]) -> list[set]:
-            with timer.phase("expansion"):
-                return [
-                    expand(core, k, comp, me_hops, timer) for comp in pool
-                ]
-
-        first, second = (
-            (merge_step, expand_step)
-            if order == "merge_first"
-            else (expand_step, merge_step)
-        )
-        while True:
-            before = {frozenset(c) for c in components}
-            components = first(components)
+            if resume is None:
+                if budget.expired():
+                    return stopped("deadline")
+                with timer.phase("seeding", strategy=seeding):
+                    seeds = SEEDERS[seeding](core, k, alpha, timer)
+                if not seeds:
+                    return VCCResult(
+                        [], k=k, algorithm=name, timer=timer
+                    )
+                components = [set(seed) for seed in seeds]
             if budget.expired():
                 return stopped("deadline")
-            components = second(components)
-            after = {frozenset(c) for c in components}
-            timer.count("rounds")
-            if after == before:
-                break
-            if budget.expired():
-                return stopped("deadline")
+
+            expand = EXPANDERS[expansion]
+            merge_condition = MERGERS[merging]
+            round_no = 0
+
+            def merge_step(pool: list[set]) -> list[set]:
+                with timer.phase(
+                    "merging", round=round_no, pool=len(pool)
+                ):
+                    return merging_mod.merge_components(
+                        core, k, pool, merge_condition, timer=timer
+                    )
+
+            def expand_step(pool: list[set]) -> list[set]:
+                with timer.phase(
+                    "expansion", round=round_no, pool=len(pool)
+                ):
+                    grown: list[set] = []
+                    for seed_id, comp in enumerate(pool):
+                        with obs.start_span(
+                            "expand.seed",
+                            seed=seed_id,
+                            size=len(comp),
+                        ):
+                            grown.append(
+                                expand(core, k, comp, me_hops, timer)
+                            )
+                    return grown
+
+            first, second = (
+                (merge_step, expand_step)
+                if order == "merge_first"
+                else (expand_step, merge_step)
+            )
+            while True:
+                round_no += 1
+                before = {frozenset(c) for c in components}
+                components = first(components)
+                if budget.expired():
+                    return stopped("deadline")
+                components = second(components)
+                after = {frozenset(c) for c in components}
+                timer.count("rounds")
+                if after == before:
+                    break
+                if budget.expired():
+                    return stopped("deadline")
     except KeyboardInterrupt:
         # Partial results are still valid k-VCS supersets: hand them
         # back instead of unwinding with a traceback (the CLI turns

@@ -44,9 +44,15 @@ class PhaseTimer:
         self._seconds: dict[str, float] = {}
         self._counters: dict[str, int] = {}
 
-    def phase(self, name: str) -> "_PhaseContext":
-        """Context manager adding the block's duration to ``name``."""
-        return _PhaseContext(self, name)
+    def phase(self, name: str, **attrs) -> "_PhaseContext":
+        """Context manager adding the block's duration to ``name``.
+
+        When the active collector records spans, the same enter/exit
+        pair also opens a ``phase.<name>`` span carrying ``attrs`` —
+        identical boundaries, so the span tree's per-phase totals
+        reconcile with the flat ``phase.*`` seconds by construction.
+        """
+        return _PhaseContext(self, name, attrs)
 
     def add_seconds(self, name: str, seconds: float) -> None:
         """Accumulate raw seconds into a phase (for external timers)."""
@@ -91,19 +97,27 @@ class PhaseTimer:
 class _PhaseContext:
     """Context manager produced by :meth:`PhaseTimer.phase`."""
 
-    def __init__(self, timer: PhaseTimer, name: str) -> None:
+    def __init__(
+        self, timer: PhaseTimer, name: str, attrs: dict | None = None
+    ) -> None:
         self._timer = timer
         self._name = name
+        self._attrs = attrs or {}
         self._start = 0.0
+        self._span = None
 
     def __enter__(self) -> "_PhaseContext":
+        self._span = obs.start_span(f"phase.{self._name}", **self._attrs)
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._timer.add_seconds(
-            self._name, time.perf_counter() - self._start
-        )
+        elapsed = time.perf_counter() - self._start
+        self._span.__exit__(*exc_info)
+        # add_seconds mirrors into the flat obs phase totals; keep it
+        # after the span close so both see the same boundaries.
+        self._timer.add_seconds(self._name, elapsed)
 
 
 @dataclass

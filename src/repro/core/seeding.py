@@ -226,11 +226,17 @@ def qkvcs(
     # Cliques first: they are k-VCSs by construction (no verification),
     # and kBFS candidates wholly inside clique coverage can then skip
     # their expensive flow-based verification.
-    from_cliques = clique_seeds(graph, k, timer=timer)
+    with obs.start_span("seeding.cliques"):
+        from_cliques = clique_seeds(graph, k, timer=timer)
+        obs.set_span_attrs(seeds=len(from_cliques))
     clique_covered: set = (
         set().union(*from_cliques) if from_cliques else set()
     )
-    from_kbfs = kbfs_seeds(graph, k, timer=timer, skip_inside=clique_covered)
+    with obs.start_span("seeding.kbfs"):
+        from_kbfs = kbfs_seeds(
+            graph, k, timer=timer, skip_inside=clique_covered
+        )
+        obs.set_span_attrs(seeds=len(from_kbfs))
     kbfs_covered: set = set().union(*from_kbfs) if from_kbfs else set()
     timer.count("kbfs_covered", len(kbfs_covered))
     timer.count("clique_covered", len(clique_covered))
@@ -239,7 +245,11 @@ def qkvcs(
 
     seeds = _dedupe(from_kbfs + from_cliques)
     covered = kbfs_covered | clique_covered
-    fallback = lkvcs_seeds(graph, k, alpha=alpha, covered=covered, timer=timer)
+    with obs.start_span("seeding.fallback"):
+        fallback = lkvcs_seeds(
+            graph, k, alpha=alpha, covered=covered, timer=timer
+        )
+        obs.set_span_attrs(seeds=len(fallback))
     timer.count(
         "fallback_covered",
         len(set().union(*fallback)) if fallback else 0,

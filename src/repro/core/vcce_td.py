@@ -14,6 +14,7 @@ part of what Figure 7 reproduces.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.result import PhaseTimer, VCCResult
 from repro.errors import ParameterError
 from repro.flow.connectivity import find_vertex_cut
@@ -34,28 +35,32 @@ def vcce_td(graph: Graph, k: int) -> VCCResult:
         raise ParameterError(f"k must be >= 2, got {k}")
     timer = PhaseTimer()
     found: set[frozenset] = set()
-    with timer.phase("partition"):
-        pending: list[set] = [graph.vertex_set()]
-        while pending:
-            members = pending.pop()
-            if len(members) <= k:
-                continue
-            sub = k_core(graph.subgraph(members), k)
-            timer.count("partitions")
-            for component in connected_components(sub):
-                if len(component) <= k:
+    with obs.start_span("vcce_td.run", k=k):
+        with timer.phase("partition", k=k):
+            pending: list[set] = [graph.vertex_set()]
+            while pending:
+                members = pending.pop()
+                if len(members) <= k:
                     continue
-                piece = sub.subgraph(component)
-                cut = find_vertex_cut(piece, k)
-                timer.count("cut_searches")
-                if cut is None:
-                    found.add(frozenset(component))
-                    continue
-                remainder = piece.subgraph(component - cut)
-                for part in connected_components(remainder):
-                    pending.append(part | cut)
-    with timer.phase("finalize"):
-        components = _drop_nested(found)
+                sub = k_core(graph.subgraph(members), k)
+                timer.count("partitions")
+                for component in connected_components(sub):
+                    if len(component) <= k:
+                        continue
+                    piece = sub.subgraph(component)
+                    # One flat aggregate instead of a node per search:
+                    # deep recursions would otherwise bloat the tree.
+                    with obs.agg_span("vcce_td.cut_search"):
+                        cut = find_vertex_cut(piece, k)
+                    timer.count("cut_searches")
+                    if cut is None:
+                        found.add(frozenset(component))
+                        continue
+                    remainder = piece.subgraph(component - cut)
+                    for part in connected_components(remainder):
+                        pending.append(part | cut)
+        with timer.phase("finalize"):
+            components = _drop_nested(found)
     return VCCResult(components, k=k, algorithm="VCCE-TD", timer=timer)
 
 

@@ -149,17 +149,20 @@ class Dinic:
         if source == sink:
             raise ParameterError("source and sink must differ")
         obs.count("flow.dinic.calls")
-        flow = 0.0
-        while flow < cutoff and self._bfs(source, sink):
-            obs.count("flow.dinic.bfs_phases")
-            self._iter = list(self.head)
-            pushed = self._dfs(source, sink, cutoff - flow)
-            if pushed == 0:
-                break
-            flow += pushed
-        if flow >= cutoff:
-            obs.count("flow.dinic.cutoff_exits")
-        return min(flow, cutoff)
+        # Aggregated into the enclosing span (one counter triple, not a
+        # tree node per call — there are thousands of calls per run).
+        with obs.agg_span("flow.dinic.max_flow"):
+            flow = 0.0
+            while flow < cutoff and self._bfs(source, sink):
+                obs.count("flow.dinic.bfs_phases")
+                self._iter = list(self.head)
+                pushed = self._dfs(source, sink, cutoff - flow)
+                if pushed == 0:
+                    break
+                flow += pushed
+            if flow >= cutoff:
+                obs.count("flow.dinic.cutoff_exits")
+            return min(flow, cutoff)
 
     def min_cut_side(self, source: int) -> set[int]:
         """Vertices reachable from ``source`` in the residual network.

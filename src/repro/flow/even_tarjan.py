@@ -96,14 +96,15 @@ class EvenTarjan:
         if source == sink:
             raise ParameterError("source and sink must differ")
         obs.count("flow.even_tarjan.calls")
-        flow = 0.0
-        while flow < cutoff:
-            pushed = self._augment_once(source, sink)
-            if pushed == 0:
-                break
-            obs.count("flow.even_tarjan.augmentations")
-            flow += pushed
-        return min(flow, cutoff)
+        with obs.agg_span("flow.even_tarjan.max_flow"):
+            flow = 0.0
+            while flow < cutoff:
+                pushed = self._augment_once(source, sink)
+                if pushed == 0:
+                    break
+                obs.count("flow.even_tarjan.augmentations")
+                flow += pushed
+            return min(flow, cutoff)
 
     def min_cut_side(self, source: int) -> set[int]:
         """Residual-reachable set from ``source`` after a full max_flow."""

@@ -12,7 +12,11 @@ is the measurement layer those claims are checked against:
   are no-ops, so instrumented hot paths stay hot when nobody is
   measuring;
 * :mod:`repro.obs.trace` — an opt-in (``REPRO_TRACE=1``) structured
-  event log for debugging fixed-point loops.
+  event log for debugging fixed-point loops;
+* :mod:`repro.obs.spans` — an opt-in hierarchical span tree (wall,
+  CPU, peak memory, attributes) for profiling where a run's time goes;
+  enabled with ``collecting(spans=True)`` and recorded through
+  :func:`start_span` / :func:`span_event` / :func:`agg_span`.
 
 The *active* collector is tracked per thread. Module-level
 :func:`count` / :func:`add_seconds` / :func:`span` delegate to it, so
@@ -35,7 +39,7 @@ import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-from repro.obs import trace
+from repro.obs import spans, trace
 from repro.obs.collector import SCHEMA, Collector, NullCollector
 
 __all__ = [
@@ -44,11 +48,16 @@ __all__ = [
     "NullCollector",
     "SCHEMA",
     "add_seconds",
+    "agg_span",
     "collecting",
     "count",
     "get_collector",
     "set_collector",
+    "set_span_attrs",
     "span",
+    "span_event",
+    "spans",
+    "start_span",
     "trace",
     "trace_event",
 ]
@@ -79,14 +88,20 @@ def set_collector(collector: Collector) -> Collector:
 @contextmanager
 def collecting(
     collector: Collector | None = None,
+    *,
+    spans: bool = False,
 ) -> Iterator[Collector]:
     """Scope a collector over a block of work (thread-local).
 
     With no argument a fresh :class:`Collector` is created. The
     previously active collector is restored on exit, so scopes nest —
-    the mechanism behind per-task worker deltas.
+    the mechanism behind per-task worker deltas. ``spans=True``
+    additionally enables hierarchical span recording on the scoped
+    collector (see :mod:`repro.obs.spans`).
     """
     active = Collector() if collector is None else collector
+    if spans:
+        active.enable_spans()
     previous = set_collector(active)
     try:
         yield active
@@ -107,6 +122,28 @@ def add_seconds(name: str, seconds: float) -> None:
 def span(name: str):
     """Context manager timing its block on the active collector."""
     return getattr(_tls, "collector", NULL).span(name)
+
+
+def start_span(name: str, **attrs):
+    """Open a hierarchical span on the active collector (context
+    manager; a no-op unless spans are enabled on it)."""
+    return getattr(_tls, "collector", NULL).start_span(name, **attrs)
+
+
+def span_event(name: str, **attrs) -> None:
+    """Record a zero-duration marker span on the active collector."""
+    getattr(_tls, "collector", NULL).span_event(name, **attrs)
+
+
+def agg_span(name: str):
+    """Time one hot leaf call into the current span's aggregates
+    (context manager; cheaper than a tree node per call)."""
+    return getattr(_tls, "collector", NULL).agg_span(name)
+
+
+def set_span_attrs(**attrs) -> None:
+    """Attach attributes to the current span on the active collector."""
+    getattr(_tls, "collector", NULL).set_span_attrs(**attrs)
 
 
 def trace_event(event: str, **fields) -> None:

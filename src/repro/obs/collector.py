@@ -12,6 +12,13 @@ is off.
 Snapshots serialise to the ``repro.obs/1`` JSON schema documented in
 ``docs/observability.md``; :meth:`Collector.to_json` /
 :meth:`Collector.from_json` round-trip it.
+
+Beyond the flat counters, a collector can carry a hierarchical
+:class:`~repro.obs.spans.SpanRecorder` (see :mod:`repro.obs.spans`),
+enabled per-collector via :meth:`Collector.enable_spans` — off by
+default so the counter-only path keeps its cost. Span trees ride in
+snapshots under the optional ``"spans"`` key and are re-parented under
+the merging side's current span by :meth:`Collector.merge`.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import json
 import time
 
 from repro.errors import ParseError
+from repro.obs.spans import NULL_SPAN, SpanRecorder
 
 __all__ = ["SCHEMA", "Collector", "NullCollector"]
 
@@ -39,7 +47,7 @@ class Collector:
     1
     """
 
-    __slots__ = ("_counters", "_seconds", "_workers_merged")
+    __slots__ = ("_counters", "_seconds", "_workers_merged", "_spans")
 
     is_noop = False
 
@@ -47,6 +55,7 @@ class Collector:
         self._counters: dict[str, int] = {}
         self._seconds: dict[str, float] = {}
         self._workers_merged = 0
+        self._spans: SpanRecorder | None = None
 
     # -- recording -----------------------------------------------------
 
@@ -61,6 +70,52 @@ class Collector:
     def span(self, name: str) -> "_Span":
         """Context manager timing its block into phase ``name``."""
         return _Span(self, name)
+
+    # -- hierarchical spans --------------------------------------------
+
+    def enable_spans(
+        self, max_spans: int | None = None
+    ) -> SpanRecorder:
+        """Attach a span recorder (idempotent); returns it.
+
+        Span recording is opt-in per collector: until this is called,
+        :meth:`start_span` and friends are no-ops costing one ``None``
+        check, so counter-only collection keeps its price.
+        """
+        if self._spans is None:
+            self._spans = (
+                SpanRecorder()
+                if max_spans is None
+                else SpanRecorder(max_spans)
+            )
+        return self._spans
+
+    @property
+    def spans(self) -> SpanRecorder | None:
+        """The attached span recorder, or ``None`` when spans are off."""
+        return self._spans
+
+    def start_span(self, name: str, **attrs):
+        """Context manager opening a child span of the current span."""
+        if self._spans is None:
+            return NULL_SPAN
+        return self._spans.start(name, attrs)
+
+    def span_event(self, name: str, **attrs) -> None:
+        """Record a zero-duration marker under the current span."""
+        if self._spans is not None:
+            self._spans.event(name, **attrs)
+
+    def agg_span(self, name: str):
+        """Time one hot leaf call into the current span's aggregates."""
+        if self._spans is None:
+            return NULL_SPAN
+        return self._spans.agg(name)
+
+    def set_span_attrs(self, **attrs) -> None:
+        """Update the current (innermost open) span's attributes."""
+        if self._spans is not None:
+            self._spans.set_attrs(**attrs)
 
     # -- reading -------------------------------------------------------
 
@@ -93,16 +148,20 @@ class Collector:
             not self._counters
             and not self._seconds
             and self._workers_merged == 0
+            and (self._spans is None or self._spans.is_empty())
         )
 
     # -- aggregation ---------------------------------------------------
 
     def snapshot(self) -> dict:
         """The current state as a plain mergeable dict."""
-        return {
+        state = {
             "counters": dict(self._counters),
             "phases": dict(self._seconds),
         }
+        if self._spans is not None and not self._spans.is_empty():
+            state["spans"] = self._spans.snapshot()
+        return state
 
     def take(self) -> dict:
         """Snapshot the current state, then reset. For worker deltas."""
@@ -124,6 +183,12 @@ class Collector:
             self.count(name, int(value))
         for name, seconds in snapshot.get("phases", {}).items():
             self.add_seconds(name, float(seconds))
+        spans_payload = snapshot.get("spans")
+        if spans_payload:
+            # Re-parent the worker's subtree under whatever span is
+            # open here (the dispatching stage span), tagged with
+            # origin="worker" so exporters can give it its own track.
+            self.enable_spans().adopt(spans_payload)
         self._workers_merged += 1
 
     def reset(self) -> None:
@@ -131,22 +196,75 @@ class Collector:
         self._counters.clear()
         self._seconds.clear()
         self._workers_merged = 0
+        if self._spans is not None:
+            self._spans.reset()
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the documented counter invariants; raise on violation.
+
+        Enforced (see ``docs/observability.md``):
+
+        * every counter, phase total, and the merge mark is
+          non-negative;
+        * ``merge.tests_attempted`` equals ``merge.tests_accepted`` +
+          ``merge.tests_rejected`` (every attempted pair test resolves
+          one way or the other).
+
+        Raises :class:`repro.errors.ParseError` — the caller is either
+        :meth:`from_json` (a corrupted document) or a tool refusing to
+        aggregate inconsistent telemetry.
+        """
+        for name, value in self._counters.items():
+            if value < 0:
+                raise ParseError(
+                    f"counter {name!r} is negative ({value})"
+                )
+        for name, seconds in self._seconds.items():
+            if seconds < 0:
+                raise ParseError(
+                    f"phase {name!r} has negative seconds ({seconds})"
+                )
+        if self._workers_merged < 0:
+            raise ParseError(
+                f"workers_merged is negative ({self._workers_merged})"
+            )
+        attempted = self._counters.get("merge.tests_attempted", 0)
+        accepted = self._counters.get("merge.tests_accepted", 0)
+        rejected = self._counters.get("merge.tests_rejected", 0)
+        if attempted != accepted + rejected:
+            raise ParseError(
+                "merge.tests_attempted invariant violated: "
+                f"{attempted} attempted != {accepted} accepted "
+                f"+ {rejected} rejected"
+            )
 
     # -- serialisation -------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialise to the ``repro.obs/1`` schema (see docs)."""
+        """Serialise to the ``repro.obs/1`` schema (see docs).
+
+        The optional ``"spans"`` key is only present when a span tree
+        was recorded, so counter-only dumps keep the original layout.
+        """
         payload = {
             "schema": SCHEMA,
             "counters": dict(sorted(self._counters.items())),
             "phases": dict(sorted(self._seconds.items())),
             "workers_merged": self._workers_merged,
         }
+        if self._spans is not None and not self._spans.is_empty():
+            payload["spans"] = self._spans.snapshot()
         return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, document: str) -> "Collector":
-        """Rebuild a collector from :meth:`to_json` output."""
+        """Rebuild a collector from :meth:`to_json` output.
+
+        Raises :class:`repro.errors.ParseError` on malformed documents
+        and on documents violating :meth:`validate`'s invariants.
+        """
         try:
             payload = json.loads(document)
             if payload.get("schema") != SCHEMA:
@@ -162,11 +280,15 @@ class Collector:
             collector._workers_merged = int(
                 payload.get("workers_merged", 0)
             )
-            return collector
+            spans_payload = payload.get("spans")
+            if spans_payload:
+                collector.enable_spans().load(dict(spans_payload))
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ParseError(
                 f"not a valid repro.obs document: {exc}"
             ) from exc
+        collector.validate()
+        return collector
 
 
 class _Span:
@@ -224,6 +346,25 @@ class NullCollector(Collector):
 
     def span(self, name: str) -> "_NullSpan":  # type: ignore[override]
         return _NULL_SPAN
+
+    def enable_spans(
+        self, max_spans: int | None = None
+    ) -> SpanRecorder:
+        # Hand back a throwaway recorder instead of attaching one: the
+        # shared NULL default must never start accumulating state.
+        return SpanRecorder()
+
+    def start_span(self, name: str, **attrs):
+        return NULL_SPAN
+
+    def span_event(self, name: str, **attrs) -> None:
+        pass
+
+    def agg_span(self, name: str):
+        return NULL_SPAN
+
+    def set_span_attrs(self, **attrs) -> None:
+        pass
 
     def merge(self, snapshot: "Collector | dict") -> None:
         pass

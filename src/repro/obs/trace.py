@@ -11,10 +11,17 @@ The sink is module-global and configured once, either from the
 environment at import time (:func:`configure_from_env`) or explicitly
 (:func:`configure`). When no sink is configured, :func:`emit` returns
 after a single ``None`` check, so tracing costs nothing when off.
+
+Durability: events are buffered and flushed every
+:data:`FLUSH_INTERVAL` events — except ``resilience.*`` events, which
+flush immediately so crash recoveries are never lost from the tail of
+the file, and :func:`close` runs via ``atexit`` so an abnormal exit
+still lands the buffered tail on disk.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import sys
@@ -22,6 +29,7 @@ import time
 from typing import IO
 
 __all__ = [
+    "FLUSH_INTERVAL",
     "close",
     "configure",
     "configure_from_env",
@@ -31,9 +39,14 @@ __all__ = [
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
+#: Buffered events between periodic flushes (resilience events and
+#: :func:`close` flush regardless).
+FLUSH_INTERVAL = 32
+
 _sink: IO[str] | None = None
 _owns_sink = False
 _seq = 0
+_unflushed = 0
 
 
 def configure(
@@ -43,7 +56,7 @@ def configure(
 
     Passing neither disables tracing (and closes any owned sink).
     """
-    global _sink, _owns_sink, _seq
+    global _sink, _owns_sink, _seq, _unflushed
     close()
     if path is not None:
         _sink = open(path, "a", encoding="utf-8")
@@ -52,6 +65,7 @@ def configure(
         _sink = stream
         _owns_sink = False
     _seq = 0
+    _unflushed = 0
 
 
 def configure_from_env(environ: dict | None = None) -> bool:
@@ -83,9 +97,10 @@ def emit(event: str, **fields) -> None:
     """Write one structured event; a no-op when tracing is off.
 
     Field values must be JSON-safe (the instrumentation sites only pass
-    ints and short strings).
+    ints and short strings). ``resilience.*`` events force an immediate
+    flush; others are flushed every :data:`FLUSH_INTERVAL` events.
     """
-    global _seq
+    global _seq, _unflushed
     sink = _sink
     if sink is None:
         return
@@ -93,13 +108,29 @@ def emit(event: str, **fields) -> None:
     record = {"seq": _seq, "ts": round(time.time(), 6), "event": event}
     record.update(fields)
     sink.write(json.dumps(record, sort_keys=True) + "\n")
-    sink.flush()
+    _unflushed += 1
+    if _unflushed >= FLUSH_INTERVAL or event.startswith("resilience."):
+        sink.flush()
+        _unflushed = 0
 
 
 def close() -> None:
-    """Close an owned sink and disable tracing."""
-    global _sink, _owns_sink
-    if _sink is not None and _owns_sink:
-        _sink.close()
+    """Flush and close an owned sink, then disable tracing.
+
+    Registered with ``atexit`` so a ``REPRO_TRACE_FILE`` sink lands its
+    buffered tail on disk even when the process exits abnormally.
+    """
+    global _sink, _owns_sink, _unflushed
+    if _sink is not None:
+        try:
+            _sink.flush()
+        except ValueError:  # pragma: no cover - sink already closed
+            pass
+        if _owns_sink:
+            _sink.close()
     _sink = None
     _owns_sink = False
+    _unflushed = 0
+
+
+atexit.register(close)

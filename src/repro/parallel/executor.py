@@ -50,15 +50,19 @@ __all__ = ["parallel_ripple", "ParallelConfig"]
 # Worker-global state, installed by the pool initializer so that task
 # payloads stay tiny (vertex sets only). With the default fork start
 # method the graph is shared copy-on-write; under spawn it is pickled
-# once per worker rather than once per task.
+# once per worker rather than once per task. ``spans`` mirrors whether
+# the orchestrator's collector records span trees, so worker tasks only
+# pay for span recording when someone is looking.
 _WORKER_GRAPH: Graph | None = None
 _WORKER_K: int = 0
+_WORKER_SPANS: bool = False
 
 
-def _init_worker(graph: Graph, k: int) -> None:
-    global _WORKER_GRAPH, _WORKER_K
+def _init_worker(graph: Graph, k: int, spans: bool = False) -> None:
+    global _WORKER_GRAPH, _WORKER_K, _WORKER_SPANS
     _WORKER_GRAPH = graph
     _WORKER_K = k
+    _WORKER_SPANS = spans
 
 
 # Every task records into a collector scoped to the task (the obs
@@ -66,24 +70,39 @@ def _init_worker(graph: Graph, k: int) -> None:
 # backends) and returns the snapshot alongside its payload. The
 # orchestrator folds the snapshots into its own collector, so per-run
 # totals include worker-side flow calls, merge tests and absorptions.
+# When span recording is on, each task opens a ``task.*`` root span
+# whose subtree ships back inside the snapshot; merging re-parents it
+# under the dispatching stage span (origin="worker").
 
 
 def _expand_task(seed: frozenset) -> tuple[frozenset, dict]:
-    with obs.collecting() as collector:
-        grown = frozenset(
-            ring_expansion(_WORKER_GRAPH, _WORKER_K, set(seed))
-        )
+    with obs.collecting(spans=_WORKER_SPANS) as collector:
+        with obs.start_span("task.expand", size=len(seed)):
+            grown = frozenset(
+                ring_expansion(_WORKER_GRAPH, _WORKER_K, set(seed))
+            )
+            obs.set_span_attrs(grown=len(grown))
     return grown, collector.snapshot()
 
 
 def _merge_pair_task(
-    pair: tuple[frozenset, frozenset]
+    pair: tuple[frozenset, frozenset, int, int]
 ) -> tuple[bool, dict]:
-    side_a, side_b = pair
-    with obs.collecting() as collector:
-        verdict = flow_based_merge_condition(
-            _WORKER_GRAPH, _WORKER_K, set(side_a), set(side_b), PhaseTimer()
-        )
+    side_a, side_b, left_id, right_id = pair
+    with obs.collecting(spans=_WORKER_SPANS) as collector:
+        with obs.start_span(
+            "task.merge_test",
+            pair=[left_id, right_id],
+            sizes=[len(side_a), len(side_b)],
+        ):
+            verdict = flow_based_merge_condition(
+                _WORKER_GRAPH,
+                _WORKER_K,
+                set(side_a),
+                set(side_b),
+                PhaseTimer(),
+            )
+            obs.set_span_attrs(accepted=verdict)
     return verdict, collector.snapshot()
 
 
@@ -91,12 +110,13 @@ def _clique_roots_task(
     payload: tuple[dict, tuple]
 ) -> tuple[list[frozenset], dict]:
     position, roots = payload
-    with obs.collecting() as collector:
-        cliques = list(
-            cliques_from_roots(
-                _WORKER_GRAPH, _WORKER_K + 1, position, list(roots)
+    with obs.collecting(spans=_WORKER_SPANS) as collector:
+        with obs.start_span("task.cliques", roots=len(roots)):
+            cliques = list(
+                cliques_from_roots(
+                    _WORKER_GRAPH, _WORKER_K + 1, position, list(roots)
+                )
             )
-        )
     return cliques, collector.snapshot()
 
 
@@ -104,8 +124,9 @@ def _lkvcs_task(
     payload: tuple[object, int]
 ) -> tuple[frozenset | None, dict]:
     vertex, alpha = payload
-    with obs.collecting() as collector:
-        seed = lkvcs(_WORKER_GRAPH, _WORKER_K, vertex, alpha=alpha)
+    with obs.collecting(spans=_WORKER_SPANS) as collector:
+        with obs.start_span("task.lkvcs"):
+            seed = lkvcs(_WORKER_GRAPH, _WORKER_K, vertex, alpha=alpha)
     found = None if seed is None else frozenset(seed)
     return found, collector.snapshot()
 
@@ -165,15 +186,17 @@ class ParallelConfig:
         self.workers = workers
         self.backend = backend
 
-    def make_pool(self, graph: Graph, k: int) -> Executor:
+    def make_pool(
+        self, graph: Graph, k: int, spans: bool = False
+    ) -> Executor:
         if self.backend == "thread":
             # Threads share the interpreter: install the globals directly.
-            _init_worker(graph, k)
+            _init_worker(graph, k, spans)
             return ThreadPoolExecutor(max_workers=self.workers)
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(graph, k),
+            initargs=(graph, k, spans),
         )
 
 
@@ -240,33 +263,43 @@ def parallel_ripple(
         return partial("deadline")
     expired = False
     degraded = False
+    # Workers record span subtrees only when the orchestrator's own
+    # collector does — otherwise span recording stays entirely off.
+    spans_on = obs.get_collector().spans is not None
     try:
-        with timer.phase("kcore"):
-            core = k_core(graph, k)
-        if core.num_vertices <= k:
-            return VCCResult([], k=k, algorithm=name, timer=timer)
-
-        spool = SupervisedPool(
-            make_pool=lambda: config.make_pool(core, k),
-            install_local=lambda: _init_worker(core, k),
+        with obs.start_span(
+            "pipeline.run",
+            algorithm=name,
+            k=k,
             backend=config.backend,
-            supervision=supervision,
-        )
-        with spool:
-            if resume is None:
+            workers=config.workers,
+        ):
+            with timer.phase("kcore", k=k):
+                core = k_core(graph, k)
+            if core.num_vertices <= k:
+                return VCCResult([], k=k, algorithm=name, timer=timer)
+
+            spool = SupervisedPool(
+                make_pool=lambda: config.make_pool(core, k, spans_on),
+                install_local=lambda: _init_worker(core, k, spans_on),
+                backend=config.backend,
+                supervision=supervision,
+            )
+            with spool:
+                if resume is None:
+                    if budget.expired():
+                        return partial("deadline")
+                    with timer.phase("seeding"):
+                        components = _parallel_seeding(
+                            spool, core, k, alpha, config, timer
+                        )
                 if budget.expired():
                     return partial("deadline")
-                with timer.phase("seeding"):
-                    components = _parallel_seeding(
-                        spool, core, k, alpha, config, timer
+                if components:
+                    components, expired = _merge_expand_loop(
+                        spool, core, k, components, timer, budget
                     )
-            if budget.expired():
-                return partial("deadline")
-            if components:
-                components, expired = _merge_expand_loop(
-                    spool, core, k, components, timer, budget
-                )
-            degraded = spool.degraded
+                degraded = spool.degraded
     except KeyboardInterrupt:
         return partial("interrupted")
     if expired:
@@ -291,33 +324,43 @@ def _parallel_seeding(
     timer: PhaseTimer,
 ) -> list[set]:
     """QkVCS with parallel clique roots and parallel LkVCS fallback."""
-    seeds = [set(s) for s in kbfs_seeds(core, k, timer=timer)]
+    with obs.start_span("seeding.kbfs"):
+        seeds = [set(s) for s in kbfs_seeds(core, k, timer=timer)]
     order = degeneracy_ordering(core)
     position = {u: i for i, u in enumerate(order)}
     payloads = [
         (position, chunk) for chunk in _chunks(order, 4 * config.workers)
     ]
-    for cliques, stats in spool.run(
-        "seeding.cliques", _clique_roots_task, payloads, validate=_valid_cliques
+    with obs.start_span(
+        "parallel.stage", stage="seeding.cliques", tasks=len(payloads)
     ):
-        _absorb(stats)
-        seeds.extend(set(c) for c in cliques)
+        for cliques, stats in spool.run(
+            "seeding.cliques",
+            _clique_roots_task,
+            payloads,
+            validate=_valid_cliques,
+        ):
+            _absorb(stats)
+            seeds.extend(set(c) for c in cliques)
     covered: set = set().union(*seeds) if seeds else set()
     uncovered = sorted(
         (u for u in core.vertices() if u not in covered), key=core.degree
     )
-    for found, stats in spool.run(
-        "seeding.lkvcs",
-        _lkvcs_task,
-        [(u, alpha) for u in uncovered],
-        validate=_valid_lkvcs,
+    with obs.start_span(
+        "parallel.stage", stage="seeding.lkvcs", tasks=len(uncovered)
     ):
-        _absorb(stats)
-        # Results arrive in submission order; respecting prior coverage
-        # here mirrors the sequential sweep's skip rule.
-        if found is not None and not (found <= covered):
-            seeds.append(set(found))
-            covered |= found
+        for found, stats in spool.run(
+            "seeding.lkvcs",
+            _lkvcs_task,
+            [(u, alpha) for u in uncovered],
+            validate=_valid_lkvcs,
+        ):
+            _absorb(stats)
+            # Results arrive in submission order; respecting prior
+            # coverage here mirrors the sequential sweep's skip rule.
+            if found is not None and not (found <= covered):
+                seeds.append(set(found))
+                covered |= found
     return _dedupe(seeds)
 
 
@@ -342,14 +385,19 @@ def _merge_expand_loop(
             return components, True
         with timer.phase("expansion"):
             expanded = []
-            for grown, stats in spool.run(
-                "expansion",
-                _expand_task,
-                [frozenset(c) for c in components],
-                validate=_valid_expand,
+            with obs.start_span(
+                "parallel.stage",
+                stage="expansion",
+                tasks=len(components),
             ):
-                _absorb(stats)
-                expanded.append(set(grown))
+                for grown, stats in spool.run(
+                    "expansion",
+                    _expand_task,
+                    [frozenset(c) for c in components],
+                    validate=_valid_expand,
+                ):
+                    _absorb(stats)
+                    expanded.append(set(grown))
             components = expanded
         timer.count("rounds")
         if {frozenset(c) for c in components} == before:
@@ -380,32 +428,35 @@ def _parallel_merge(
         ]
         if not candidates:
             return pool_sets
-        verdicts = spool.run(
-            "merging",
-            _merge_pair_task,
-            [
-                (frozenset(pool_sets[i]), frozenset(pool_sets[j]))
-                for i, j in candidates
-            ],
-            validate=_valid_merge,
-        )
-        parent = list(range(len(pool_sets)))
+        with obs.start_span(
+            "parallel.stage", stage="merging", tasks=len(candidates)
+        ):
+            verdicts = spool.run(
+                "merging",
+                _merge_pair_task,
+                [
+                    (frozenset(pool_sets[i]), frozenset(pool_sets[j]), i, j)
+                    for i, j in candidates
+                ],
+                validate=_valid_merge,
+            )
+            parent = list(range(len(pool_sets)))
 
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
 
-        merged_any = False
-        for (i, j), (ok, stats) in zip(candidates, verdicts):
-            _absorb(stats)
-            if ok:
-                ri, rj = find(i), find(j)
-                if ri != rj:
-                    parent[rj] = ri
-                    merged_any = True
-                    timer.count("merges")
+            merged_any = False
+            for (i, j), (ok, stats) in zip(candidates, verdicts):
+                _absorb(stats)
+                if ok:
+                    ri, rj = find(i), find(j)
+                    if ri != rj:
+                        parent[rj] = ri
+                        merged_any = True
+                        timer.count("merges")
         if not merged_any:
             return pool_sets
         groups: dict[int, set] = {}

@@ -228,6 +228,14 @@ class SupervisedPool:
                 break
             if job.attempts:
                 obs.count("resilience.retries")
+                # Retries surface as sibling event spans under the
+                # dispatching stage span (see docs/robustness.md).
+                obs.span_event(
+                    "resilience.retry",
+                    stage=stage,
+                    index=job.index,
+                    attempt=job.attempts,
+                )
             submitted.append((job, future))
         retry: list[_Job] = []
         abandoned = False
@@ -236,7 +244,9 @@ class SupervisedPool:
                 # The pool these futures belong to was torn down (hung
                 # worker) — don't block on them; requeue as collateral.
                 future.cancel()
-                self._settle_failure(job, fn, retry, results, collateral=True)
+                self._settle_failure(
+                    stage, job, fn, retry, results, collateral=True
+                )
                 continue
             try:
                 value = future.result(timeout=self._supervision.task_timeout)
@@ -251,12 +261,15 @@ class SupervisedPool:
                 collateral = abandoned or charged
                 charged = charged or not collateral
                 self._settle_failure(
-                    job, fn, retry, results, collateral=collateral
+                    stage, job, fn, retry, results, collateral=collateral
                 )
                 abandoned = True
             except PoolTimeout:
                 obs.count("resilience.task_timeouts")
-                self._settle_failure(job, fn, retry, results)
+                obs.span_event(
+                    "resilience.timeout", stage=stage, index=job.index
+                )
+                self._settle_failure(stage, job, fn, retry, results)
                 if self._backend == "process" and not self._degraded:
                     # Rebuilding is the only way to reclaim a stuck
                     # process; sibling futures become collateral.
@@ -264,11 +277,11 @@ class SupervisedPool:
                     rebuilt = True
                     abandoned = True
             except Exception:
-                self._settle_failure(job, fn, retry, results)
+                self._settle_failure(stage, job, fn, retry, results)
             else:
                 if validate is not None and not validate(value):
                     obs.count("resilience.invalid_results")
-                    self._settle_failure(job, fn, retry, results)
+                    self._settle_failure(stage, job, fn, retry, results)
                 else:
                     self._consecutive_failures = 0
                     results[job.slot] = value
@@ -276,14 +289,17 @@ class SupervisedPool:
             # The pool broke before any job went out, so no future can
             # pay for the failure; charge the first job to guarantee
             # progress toward degradation if the breakage persists.
-            self._settle_failure(unsubmitted[0], fn, retry, results)
+            self._settle_failure(stage, unsubmitted[0], fn, retry, results)
             unsubmitted = unsubmitted[1:]
         for job in unsubmitted:
-            self._settle_failure(job, fn, retry, results, collateral=True)
+            self._settle_failure(
+                stage, job, fn, retry, results, collateral=True
+            )
         return retry
 
     def _settle_failure(
         self,
+        stage: str,
         job: _Job,
         fn: Callable,
         retry: list[_Job],
@@ -309,6 +325,12 @@ class SupervisedPool:
             retry.append(job)  # drained locally by the outer loop
         elif job.attempts > self._supervision.max_retries:
             obs.count("resilience.local_fallback_tasks")
+            obs.span_event(
+                "resilience.local_fallback",
+                stage=stage,
+                index=job.index,
+                attempts=job.attempts,
+            )
             results[job.slot] = self._run_local(fn, job)
         else:
             retry.append(job)
@@ -347,6 +369,7 @@ class SupervisedPool:
     def _rebuild_pool(self) -> None:
         obs.count("resilience.pool_rebuilds")
         obs.trace_event("resilience.pool_rebuild", backend=self._backend)
+        obs.span_event("resilience.pool_rebuild", backend=self._backend)
         self._teardown_pool()
         self._pool = self._make_pool()
 
@@ -375,6 +398,10 @@ class SupervisedPool:
         self._degraded = True
         obs.count("resilience.degraded")
         obs.trace_event(
+            "resilience.degraded",
+            consecutive_failures=self._consecutive_failures,
+        )
+        obs.span_event(
             "resilience.degraded",
             consecutive_failures=self._consecutive_failures,
         )

@@ -1,0 +1,199 @@
+"""Tests for the perf-regression gate (repro.bench.perfgate + scripts)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import perfgate
+from repro.bench.perfgate import BenchCase
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPTS = REPO / "scripts"
+
+
+def _tiny_cases() -> dict[str, BenchCase]:
+    def setup():
+        return lambda: sum(range(500))
+
+    return {"tiny/sum": BenchCase("tiny/sum", "trivial case", setup)}
+
+
+def _doc(calibration=0.01, wall=0.1, mem=1000, spans=None):
+    return {
+        "schema": perfgate.SCHEMA,
+        "calibration_s": calibration,
+        "repeats": 3,
+        "cases": {
+            "c": {
+                "description": "synthetic",
+                "wall_s": wall,
+                "mem_peak_bytes": mem,
+                "spans": spans or {},
+            }
+        },
+    }
+
+
+class TestSuite:
+    def test_run_suite_document_shape(self):
+        document = perfgate.run_suite(repeats=1, cases=_tiny_cases())
+        assert document["schema"] == perfgate.SCHEMA
+        assert document["calibration_s"] > 0
+        case = document["cases"]["tiny/sum"]
+        assert case["wall_s"] >= 0
+        assert case["mem_peak_bytes"] >= 0
+        assert isinstance(case["spans"], dict)
+
+    def test_builtin_cases_record_pipeline_spans(self):
+        cases = perfgate.builtin_cases()
+        case = cases["ripple/planted-3x30-k4"]
+        measured = perfgate.run_case(case, repeats=1)
+        assert measured["wall_s"] > 0
+        assert measured["mem_peak_bytes"] > 0
+        assert "pipeline.run" in measured["spans"]
+        assert "phase.merging" in measured["spans"]
+
+    def test_calibration_is_positive_and_stable(self):
+        first = perfgate.calibrate(rounds=1)
+        assert first > 0
+
+    def test_load_document_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/1"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            perfgate.load_document(str(bad))
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        verdict = perfgate.compare(_doc(wall=0.1), _doc(wall=0.11))
+        assert verdict["ok"] and not verdict["failures"]
+
+    def test_wall_regression_fails(self):
+        verdict = perfgate.compare(_doc(wall=0.1), _doc(wall=0.2))
+        assert not verdict["ok"]
+        assert any("wall" in line for line in verdict["failures"])
+
+    def test_mem_regression_fails(self):
+        verdict = perfgate.compare(_doc(mem=1000), _doc(mem=1300))
+        assert not verdict["ok"]
+        assert any("mem" in line for line in verdict["failures"])
+
+    def test_calibration_normalises_slow_machines(self):
+        # Candidate took 2x the wall time on a machine whose busy loop
+        # is also 2x slower: no regression after normalisation.
+        baseline = _doc(calibration=0.01, wall=0.1)
+        candidate = _doc(calibration=0.02, wall=0.2)
+        assert perfgate.compare(baseline, candidate)["ok"]
+
+    def test_missing_case_fails(self):
+        candidate = _doc()
+        candidate["cases"] = {}
+        verdict = perfgate.compare(_doc(), candidate)
+        assert not verdict["ok"]
+        assert "missing" in verdict["failures"][0]
+
+    def test_new_case_is_reported_not_gated(self):
+        baseline = _doc()
+        candidate = _doc()
+        candidate["cases"]["extra"] = candidate["cases"]["c"].copy()
+        verdict = perfgate.compare(baseline, candidate)
+        assert verdict["ok"]
+        assert any("new case" in row[-1] for row in verdict["rows"])
+
+    def test_span_delta_rows(self):
+        baseline = _doc(spans={"merge.test": 0.05})
+        candidate = _doc(wall=0.2, spans={"merge.test": 0.15})
+        verdict = perfgate.compare(baseline, candidate)
+        assert ["c", "merge.test", "0.050000", "0.150000", "+200.0%"] in (
+            verdict["span_rows"]
+        )
+
+    def test_render_report_shows_spans_on_failure(self):
+        baseline = _doc(spans={"merge.test": 0.05})
+        candidate = _doc(wall=0.5, spans={"merge.test": 0.4})
+        report = perfgate.render_report(
+            perfgate.compare(baseline, candidate)
+        )
+        assert "FAILURES" in report
+        assert "Per-span wall deltas" in report
+        report_ok = perfgate.render_report(
+            perfgate.compare(baseline, _doc(spans={"merge.test": 0.05}))
+        )
+        assert "perf gate passed" in report_ok
+        assert "Per-span wall deltas" not in report_ok
+
+
+class TestScripts:
+    """End to end: the acceptance criterion for the gate scripts."""
+
+    def _run(self, script, *argv):
+        return subprocess.run(
+            [sys.executable, str(SCRIPTS / script), *argv],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+        )
+
+    def test_baseline_then_compare_clean_and_injected(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        written = self._run(
+            "bench_baseline.py", "--output", str(baseline),
+            "--repeats", "3",
+        )
+        assert written.returncode == 0, written.stderr
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        assert document["schema"] == perfgate.SCHEMA
+
+        # A widened tolerance keeps machine-load noise from flaking the
+        # clean run; the injected 2x slowdown (+100%) still trips it.
+        clean = self._run(
+            "bench_compare.py", str(baseline), "--repeats", "3",
+            "--wall-tolerance", "0.8",
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "perf gate passed" in clean.stdout
+
+        slowed = self._run(
+            "bench_compare.py", str(baseline), "--repeats", "3",
+            "--wall-tolerance", "0.5",
+            "--inject-slowdown", "ripple/planted-3x30-k4:2.0",
+        )
+        assert slowed.returncode == 1, slowed.stdout + slowed.stderr
+        assert "WALL REGRESSION" in slowed.stdout
+        assert "Per-span wall deltas" in slowed.stdout
+
+    def test_baseline_refuses_overwrite_without_refresh(self, tmp_path):
+        target = tmp_path / "base.json"
+        target.write_text("{}", encoding="utf-8")
+        refused = self._run(
+            "bench_baseline.py", "--output", str(target), "--repeats", "1"
+        )
+        assert refused.returncode == 2
+        assert "--refresh" in refused.stderr
+
+    def test_compare_reports_missing_baseline(self, tmp_path):
+        missing = self._run(
+            "bench_compare.py", str(tmp_path / "none.json"),
+            "--repeats", "1",
+        )
+        assert missing.returncode == 2
+        assert "error" in missing.stderr
+
+    def test_compare_save_current_artifact(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        assert self._run(
+            "bench_baseline.py", "--output", str(baseline),
+            "--repeats", "1",
+        ).returncode == 0
+        current = tmp_path / "current.json"
+        run = self._run(
+            "bench_compare.py", str(baseline), "--repeats", "1",
+            "--save-current", str(current),
+        )
+        assert run.returncode == 0, run.stdout + run.stderr
+        saved = json.loads(current.read_text(encoding="utf-8"))
+        assert saved["schema"] == perfgate.SCHEMA

@@ -69,7 +69,15 @@ class TestJsonRoundTrip:
         collector = Collector()
         collector.count("flow.dinic.calls", 12)
         collector.add_seconds("phase.seeding", 0.125)
-        collector.merge({"counters": {"merge.tests_attempted": 3}})
+        collector.merge(
+            {
+                "counters": {
+                    "merge.tests_attempted": 3,
+                    "merge.tests_accepted": 1,
+                    "merge.tests_rejected": 2,
+                }
+            }
+        )
         rebuilt = Collector.from_json(collector.to_json())
         assert rebuilt.counters == collector.counters
         assert rebuilt.phases == collector.phases

@@ -1,0 +1,426 @@
+"""Tests for repro.obs.spans: recorder, adoption, exporters, caps."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.core.ripple import ripple
+from repro.errors import ParseError
+from repro.graph import community_graph
+from repro.obs import Collector, NullCollector
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    SpanRecorder,
+    aggregate_tree,
+    render_span_tree,
+    span_totals,
+    to_chrome_trace,
+)
+
+
+def _spanned_collector() -> Collector:
+    collector = Collector()
+    collector.enable_spans()
+    return collector
+
+
+class TestRecorder:
+    def test_nested_spans_build_a_tree(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("outer", k=4):
+                with obs.start_span("inner", seed=7):
+                    pass
+                with obs.start_span("inner", seed=8):
+                    pass
+        roots = collector.spans.roots
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].attrs == {"k": 4}
+        assert [c.name for c in roots[0].children] == ["inner", "inner"]
+        assert roots[0].children[1].attrs == {"seed": 8}
+        assert roots[0].wall >= max(c.wall for c in roots[0].children)
+
+    def test_set_span_attrs_updates_innermost(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("outer"):
+                with obs.start_span("inner"):
+                    obs.set_span_attrs(ring=13)
+        (outer,) = collector.spans.roots
+        assert outer.attrs == {}
+        assert outer.children[0].attrs == {"ring": 13}
+
+    def test_agg_span_folds_without_tree_nodes(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("work"):
+                for _ in range(3):
+                    with obs.agg_span("flow.call"):
+                        pass
+        (work,) = collector.spans.roots
+        assert work.children == []
+        count, wall, cpu = work.agg["flow.call"]
+        assert count == 3
+        assert wall >= 0 and cpu >= 0
+
+    def test_agg_span_outside_any_span_is_dropped(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.agg_span("orphan"):
+                pass
+        assert collector.spans.is_empty()
+
+    def test_span_event_records_marker(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("stage"):
+                obs.span_event("resilience.retry", index=3)
+        (stage,) = collector.spans.roots
+        (marker,) = stage.children
+        assert marker.name == "resilience.retry"
+        assert marker.attrs == {"index": 3}
+        assert marker.wall == 0.0
+
+    def test_cap_drops_and_counts(self):
+        collector = Collector()
+        collector.enable_spans(max_spans=2)
+        with obs.collecting(collector):
+            with obs.start_span("a"):
+                pass
+            with obs.start_span("b"):
+                pass
+            with obs.start_span("c"):
+                pass
+            obs.span_event("d")
+        recorder = collector.spans
+        assert [r.name for r in recorder.roots] == ["a", "b"]
+        assert recorder.dropped == 2
+
+    def test_disabled_collector_returns_null_span(self):
+        collector = Collector()
+        assert collector.start_span("x") is NULL_SPAN
+        assert collector.agg_span("x") is NULL_SPAN
+        collector.span_event("x")
+        collector.set_span_attrs(k=1)
+        assert collector.spans is None
+        assert collector.is_empty()
+
+    def test_null_collector_never_accumulates(self):
+        null = NullCollector()
+        recorder = null.enable_spans()
+        assert null.start_span("x") is NULL_SPAN
+        null.span_event("x")
+        # the handed-back recorder is a throwaway, not shared state
+        assert recorder.is_empty()
+        assert null.is_empty()
+
+    def test_reset_clears_tree(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("a"):
+                pass
+        collector.reset()
+        assert collector.spans.is_empty()
+
+
+class TestMemoryProfiling:
+    def test_mem_peak_under_tracemalloc(self):
+        collector = _spanned_collector()
+        already = tracemalloc.is_tracing()
+        if not already:
+            tracemalloc.start()
+        try:
+            with obs.collecting(collector):
+                with obs.start_span("outer"):
+                    with obs.start_span("alloc"):
+                        blob = [0] * 50_000
+                    del blob
+        finally:
+            if not already:
+                tracemalloc.stop()
+        (outer,) = collector.spans.roots
+        (alloc,) = outer.children
+        # the list is ~400KiB; both windows must see it
+        assert alloc.mem_peak is not None and alloc.mem_peak > 100_000
+        assert outer.mem_peak is not None
+        assert outer.mem_peak >= alloc.mem_peak
+
+    def test_mem_peak_absent_without_tracemalloc(self):
+        assert not tracemalloc.is_tracing()
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("a"):
+                pass
+        assert collector.spans.roots[0].mem_peak is None
+
+
+class TestSerialisation:
+    def _sample_tree(self) -> Collector:
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("outer", k=3):
+                with obs.agg_span("leaf.call"):
+                    pass
+                with obs.start_span("inner", seed=1):
+                    pass
+        return collector
+
+    def test_span_dict_round_trip(self):
+        (outer,) = self._sample_tree().spans.roots
+        rebuilt = Span.from_dict(
+            json.loads(json.dumps(outer.to_dict()))
+        )
+        assert rebuilt.name == "outer"
+        assert rebuilt.attrs == {"k": 3}
+        assert rebuilt.wall == pytest.approx(outer.wall, abs=1e-9)
+        assert rebuilt.agg["leaf.call"][0] == 1
+        assert [c.name for c in rebuilt.children] == ["inner"]
+
+    def test_recorder_snapshot_load_round_trip(self):
+        recorder = self._sample_tree().spans
+        clone = SpanRecorder()
+        clone.load(json.loads(json.dumps(recorder.snapshot())))
+        assert [r.name for r in clone.roots] == ["outer"]
+        assert clone.dropped == recorder.dropped
+        assert not clone.is_empty()
+
+    def test_collector_json_round_trip_keeps_spans(self):
+        collector = self._sample_tree()
+        collector.count("x", 2)
+        rebuilt = Collector.from_json(collector.to_json())
+        assert rebuilt.spans is not None
+        assert [r.name for r in rebuilt.spans.roots] == ["outer"]
+        assert rebuilt.counter("x") == 2
+
+    def test_spans_key_absent_when_empty(self):
+        collector = Collector()
+        collector.enable_spans()
+        payload = json.loads(collector.to_json())
+        assert "spans" not in payload
+        assert "spans" not in collector.snapshot()
+
+
+class TestAdoption:
+    def _worker_payload(self) -> dict:
+        worker = Collector()
+        worker.enable_spans()
+        with obs.collecting(worker):
+            with obs.start_span("task.expand", size=9):
+                pass
+        return worker.snapshot()
+
+    def test_merge_adopts_and_reparents(self):
+        payload = self._worker_payload()
+        orchestrator = _spanned_collector()
+        with obs.collecting(orchestrator):
+            with obs.start_span("parallel.stage", stage="expansion"):
+                orchestrator.merge(payload)
+        (stage,) = orchestrator.spans.roots
+        (task,) = stage.children
+        assert task.name == "task.expand"
+        assert task.attrs["origin"] == "worker"
+        assert task.attrs["size"] == 9
+        assert orchestrator.workers_merged == 1
+
+    def test_adopt_lands_at_root_without_open_span(self):
+        orchestrator = _spanned_collector()
+        orchestrator.merge(self._worker_payload())
+        (task,) = orchestrator.spans.roots
+        assert task.attrs["origin"] == "worker"
+
+    def test_adopt_accumulates_dropped(self):
+        payload = self._worker_payload()
+        payload["spans"]["dropped"] = 5
+        orchestrator = _spanned_collector()
+        orchestrator.merge(payload)
+        assert orchestrator.spans.dropped == 5
+
+    def test_merge_without_spans_enables_recorder(self):
+        orchestrator = Collector()
+        orchestrator.merge(self._worker_payload())
+        assert orchestrator.spans is not None
+        assert not orchestrator.spans.is_empty()
+
+
+class TestReductions:
+    def _tree(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("phase"):
+                for seed in range(3):
+                    with obs.start_span("expand.seed", seed=seed):
+                        with obs.agg_span("flow.call"):
+                            pass
+        return collector.spans.roots
+
+    def test_span_totals_counts_and_agg_buckets(self):
+        totals = span_totals(self._tree())
+        assert totals["expand.seed"]["count"] == 3
+        assert totals["flow.call"]["count"] == 3
+        assert totals["phase"]["count"] == 1
+        assert totals["phase"]["wall"] >= totals["expand.seed"]["wall"] / 2
+
+    def test_aggregate_tree_collapses_siblings(self):
+        (phase,) = aggregate_tree(self._tree())
+        assert phase.name == "phase"
+        (expand,) = phase.children.values()
+        assert expand.count == 3
+        assert expand.agg["flow.call"][0] == 3
+
+    def test_render_span_tree(self):
+        text = render_span_tree(self._tree(), dropped=2)
+        assert "phase" in text
+        assert "expand.seed" in text and "x3" in text
+        assert "- flow.call" in text and "(aggregated)" in text
+        assert "2 span(s) dropped" in text
+
+    def test_render_hides_long_tails(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("top"):
+                for i in range(5):
+                    with obs.start_span(f"child.{i}"):
+                        pass
+        text = render_span_tree(
+            collector.spans.roots, max_children=2
+        )
+        assert "… 3 more name(s)" in text
+
+
+class TestChromeTrace:
+    def test_complete_events_are_wellformed(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("outer", k=4):
+                with obs.start_span("inner"):
+                    pass
+        doc = to_chrome_trace(collector.spans.roots)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in slices] == ["outer", "inner"]
+        for event in slices:
+            assert isinstance(event["ts"], int)
+            assert event["dur"] >= 1
+            assert event["tid"] == 0
+        outer = slices[0]
+        assert outer["args"]["k"] == 4
+        assert "cpu_s" in outer["args"]
+
+    def test_zero_duration_markers_become_instants(self):
+        collector = _spanned_collector()
+        with obs.collecting(collector):
+            with obs.start_span("stage"):
+                obs.span_event("resilience.retry", index=1)
+        doc = to_chrome_trace(collector.spans.roots)
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "resilience.retry"
+
+    def test_worker_subtrees_get_own_lanes(self):
+        worker = Collector()
+        worker.enable_spans()
+        with obs.collecting(worker):
+            with obs.start_span("task.expand"):
+                pass
+        orchestrator = _spanned_collector()
+        with obs.collecting(orchestrator):
+            with obs.start_span("parallel.stage"):
+                orchestrator.merge(worker.snapshot())
+        doc = to_chrome_trace(orchestrator.spans.roots)
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"
+        }
+        assert by_name["parallel.stage"]["tid"] == 0
+        assert by_name["task.expand"]["tid"] == 1
+        lanes = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert lanes and lanes[0]["args"]["name"] == "worker-lane-1"
+
+    def test_dropped_spans_reported_in_metadata(self):
+        doc = to_chrome_trace([], dropped=7)
+        assert doc["metadata"] == {"dropped_spans": 7}
+
+
+class TestValidate:
+    def test_accepts_consistent_counters(self):
+        collector = Collector()
+        collector.count("merge.tests_attempted", 5)
+        collector.count("merge.tests_accepted", 2)
+        collector.count("merge.tests_rejected", 3)
+        collector.validate()
+
+    def test_rejects_merge_imbalance(self):
+        collector = Collector()
+        collector.count("merge.tests_attempted", 5)
+        collector.count("merge.tests_accepted", 2)
+        with pytest.raises(ParseError):
+            collector.validate()
+
+    def test_rejects_negative_counter(self):
+        collector = Collector()
+        collector.count("x", -1)
+        with pytest.raises(ParseError):
+            collector.validate()
+
+    def test_from_json_rejects_corrupted_document(self):
+        document = json.dumps(
+            {
+                "schema": "repro.obs/1",
+                "counters": {
+                    "merge.tests_attempted": 9,
+                    "merge.tests_accepted": 1,
+                    "merge.tests_rejected": 2,
+                },
+                "phases": {},
+                "workers_merged": 0,
+            }
+        )
+        with pytest.raises(ParseError, match="merge.tests_attempted"):
+            Collector.from_json(document)
+
+    def test_from_json_rejects_negative_phase(self):
+        document = json.dumps(
+            {
+                "schema": "repro.obs/1",
+                "counters": {},
+                "phases": {"phase.seeding": -0.5},
+                "workers_merged": 0,
+            }
+        )
+        with pytest.raises(ParseError):
+            Collector.from_json(document)
+
+
+class TestPipelineReconciliation:
+    """Acceptance: the span tree and the flat phase totals agree."""
+
+    def test_phase_spans_match_flat_timers(self):
+        graph = community_graph([16, 16], k=3, seed=2)
+        collector = Collector()
+        collector.enable_spans()
+        with obs.collecting(collector):
+            ripple(graph, 3)
+        totals = span_totals(collector.spans.roots)
+        assert collector.phases, "flat phase timers missing"
+        for name, flat_seconds in collector.phases.items():
+            assert name in totals, f"no span recorded for {name}"
+            span_seconds = totals[name]["wall"]
+            # Identical enter/exit points: only the fixed ~µs span
+            # overhead can separate them. Allow 5% relative, with an
+            # absolute floor for the sub-100µs phases (finalize).
+            assert span_seconds == pytest.approx(
+                flat_seconds, rel=0.05, abs=200e-6
+            ), name
+
+    def test_spans_off_leaves_collector_unchanged(self):
+        graph = community_graph([16, 16], k=3, seed=2)
+        with obs.collecting() as collector:
+            ripple(graph, 3)
+        assert collector.spans is None
+        payload = json.loads(collector.to_json())
+        assert "spans" not in payload

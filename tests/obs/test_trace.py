@@ -46,6 +46,52 @@ class TestConfiguration:
         trace.emit("anything", n=1)  # must not raise
 
 
+class _FlushCountingSink(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
+
+
+class TestFlushing:
+    def test_events_buffer_until_interval(self):
+        sink = _FlushCountingSink()
+        trace.configure(stream=sink)
+        for i in range(trace.FLUSH_INTERVAL - 1):
+            trace.emit("tick", n=i)
+        assert sink.flushes == 0
+        trace.emit("tick", n=trace.FLUSH_INTERVAL - 1)
+        assert sink.flushes == 1
+        trace.emit("tick", n=0)  # a fresh window buffers again
+        assert sink.flushes == 1
+
+    def test_resilience_events_flush_immediately(self):
+        sink = _FlushCountingSink()
+        trace.configure(stream=sink)
+        trace.emit("rme.round", members=3)
+        assert sink.flushes == 0
+        trace.emit("resilience.retry", index=0)
+        assert sink.flushes == 1
+
+    def test_close_flushes_buffered_tail(self, tmp_path):
+        target = tmp_path / "t.jsonl"
+        trace.configure(path=str(target))
+        trace.emit("tick", n=1)  # below the interval: still buffered
+        trace.close()
+        events = _read_events(target.read_text(encoding="utf-8"))
+        assert [e["event"] for e in events] == ["tick"]
+
+    def test_close_survives_already_closed_sink(self):
+        sink = io.StringIO()
+        trace.configure(stream=sink)
+        trace.emit("tick", n=1)
+        sink.close()
+        trace.close()  # must not raise
+        assert not trace.is_enabled()
+
 class TestEmission:
     def test_events_are_wellformed_jsonl(self):
         sink = io.StringIO()

@@ -51,7 +51,7 @@ class TestWorkerTasks:
         g = clique_graph(6)
         _init_worker(g, 3)
         verdict, stats = _merge_pair_task(
-            (frozenset(range(4)), frozenset(range(2, 6)))
+            (frozenset(range(4)), frozenset(range(2, 6)), 0, 1)
         )
         assert verdict
         assert stats["counters"]["merge.tests_attempted"] == 1

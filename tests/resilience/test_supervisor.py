@@ -231,3 +231,58 @@ class TestParallelRippleRecovery:
         assert not any(
             name.startswith("resilience.") for name in collector.counters
         )
+
+
+class TestWorkerAggregation:
+    """``workers_merged == parallel.tasks_completed`` must survive every
+    recovery path: a task's snapshot is folded into the orchestrator's
+    collector exactly once, whether its final result came from the pool,
+    from an in-process local fallback after exhausted retries, or from
+    degraded sequential execution."""
+
+    def test_holds_on_local_fallback(
+        self, fault_graph, expected_components, backend
+    ):
+        # One task fails every dispatch, exhausts its retries, and runs
+        # locally; degrade_after is high so the pool never degrades.
+        plan = FaultPlan.parse("expansion:0:raise:*")
+        supervision = SupervisionConfig(
+            max_retries=1, degrade_after=50, fault_plan=plan
+        )
+        config = ParallelConfig(workers=2, backend=backend)
+        with obs.collecting() as collector:
+            result = parallel_ripple(
+                fault_graph, 3, config, supervision=supervision
+            )
+        assert result.status == "completed"
+        assert set(result.components) == expected_components
+        assert collector.counter("resilience.local_fallback_tasks") >= 1
+        assert collector.workers_merged == collector.counter(
+            "parallel.tasks_completed"
+        )
+
+    def test_holds_under_degradation(
+        self, fault_graph, expected_components, backend
+    ):
+        plan = FaultPlan.parse("expansion:*:raise:*")
+        supervision = SupervisionConfig(
+            max_retries=1, degrade_after=3, fault_plan=plan
+        )
+        config = ParallelConfig(workers=2, backend=backend)
+        with obs.collecting() as collector:
+            result = parallel_ripple(
+                fault_graph, 3, config, supervision=supervision
+            )
+        assert result.status == "degraded"
+        assert set(result.components) == expected_components
+        assert collector.workers_merged == collector.counter(
+            "parallel.tasks_completed"
+        )
+
+    def test_holds_on_clean_runs(self, fault_graph, backend):
+        config = ParallelConfig(workers=2, backend=backend)
+        with obs.collecting() as collector:
+            parallel_ripple(fault_graph, 3, config)
+        assert collector.workers_merged == collector.counter(
+            "parallel.tasks_completed"
+        )

@@ -174,3 +174,89 @@ class TestGenerateCommand:
     def test_generate_unknown_dataset(self, tmp_path, capsys):
         assert main(["generate", "nope", "-o", str(tmp_path / "x")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestSpanTracing:
+    def test_stats_prints_span_tree(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Run statistics: span tree (repro.obs)" in out
+        assert "pipeline.run" in out
+        assert "merge.test" in out
+
+    def test_trace_out_writes_perfetto_json(self, edge_list, tmp_path,
+                                            capsys):
+        import json
+
+        target = tmp_path / "run.trace.json"
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--trace-out", str(target)]) == 0
+        assert "trace saved to" in capsys.readouterr().out
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert "traceEvents" in doc
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        assert {"pipeline.run", "phase.seeding", "phase.merging"} <= names
+        for event in slices:
+            assert isinstance(event["ts"], int) and event["dur"] >= 1
+
+    def test_profile_memory_adds_peaks(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--stats", "--profile-memory"]) == 0
+        assert "peak +" in capsys.readouterr().out
+
+    def test_profile_memory_alone_warns(self, edge_list, capsys):
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--profile-memory"]) == 0
+        captured = capsys.readouterr()
+        assert "--profile-memory needs" in captured.err
+        assert "span tree" not in captured.out
+
+    def test_stats_json_carries_spans(self, edge_list, tmp_path):
+        import json
+
+        target = tmp_path / "stats.json"
+        assert main(["enumerate", edge_list, "-k", "3", "--quiet",
+                     "--stats-json", str(target)]) == 0
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["spans"]["roots"]
+        assert payload["spans"]["roots"][0]["name"] == "pipeline.run"
+
+
+class TestStatsDiff:
+    def _dump(self, edge_list, tmp_path, name, k):
+        target = tmp_path / name
+        assert main(["enumerate", edge_list, "-k", str(k), "--quiet",
+                     "--stats-json", str(target)]) == 0
+        return str(target)
+
+    def test_diff_two_runs(self, edge_list, tmp_path, capsys):
+        a = self._dump(edge_list, tmp_path, "a.json", 3)
+        b = self._dump(edge_list, tmp_path, "b.json", 4)
+        capsys.readouterr()
+        assert main(["stats", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "Phase seconds" in out
+        assert "Span wall seconds / peak memory" in out
+        assert "pipeline.run" in out
+
+    def test_diff_identical_runs(self, edge_list, tmp_path, capsys):
+        a = self._dump(edge_list, tmp_path, "a.json", 3)
+        capsys.readouterr()
+        assert main(["stats", "diff", a, a]) == 0
+        out = capsys.readouterr().out
+        assert "counters: identical" in out
+
+    def test_diff_rejects_corrupt_document(self, edge_list, tmp_path,
+                                           capsys):
+        a = self._dump(edge_list, tmp_path, "a.json", 3)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["stats", "diff", a, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_diff_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
