@@ -29,6 +29,8 @@ DEFAULT_OUTPUT = (
     / "smoke.json"
 )
 
+DEFAULT_STATS_OUTPUT = DEFAULT_OUTPUT.with_name("smoke_stats.json")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -49,14 +51,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="required to overwrite an existing baseline file",
     )
+    parser.add_argument(
+        "--stats-output",
+        type=Path,
+        default=None,
+        help=(
+            "repro.obs/1 stats baseline to write alongside (default: "
+            "<output>_stats.json next to --output, i.e. "
+            f"{DEFAULT_STATS_OUTPUT}); CI diffs each run against it "
+            "with `ripple stats diff`"
+        ),
+    )
     args = parser.parse_args(argv)
-
-    if args.output.exists() and not args.refresh:
-        print(
-            f"error: {args.output} exists; pass --refresh to overwrite",
-            file=sys.stderr,
+    if args.stats_output is None:
+        args.stats_output = args.output.with_name(
+            args.output.stem + "_stats.json"
         )
-        return 2
+
+    if not args.refresh:
+        for existing in (args.output, args.stats_output):
+            if existing.exists():
+                print(
+                    f"error: {existing} exists; pass --refresh to overwrite",
+                    file=sys.stderr,
+                )
+                return 2
 
     document = perfgate.run_suite(repeats=args.repeats)
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -70,7 +89,32 @@ def main(argv: list[str] | None = None) -> int:
             f"peak {case['mem_peak_bytes']} bytes"
         )
     print(f"  calibration: {document['calibration_s']:.6f}s")
+
+    # Sibling repro.obs/1 baseline: one instrumented run of the first
+    # smoke case, saved so the CI perf-gate job can upload a
+    # `ripple stats diff` of the committed counters vs the current
+    # run's (counters are deterministic; the timing rows are
+    # informational only and never gated).
+    stats_doc = json.loads(_stats_baseline().to_json())
+    with open(args.stats_output, "w", encoding="utf-8") as handle:
+        json.dump(stats_doc, handle, indent=2)
+        handle.write("\n")
+    print(f"stats baseline written to {args.stats_output}")
     return 0
+
+
+def _stats_baseline() -> "obs.Collector":
+    """Collect one instrumented RIPPLE run of the CI smoke case."""
+    from repro import obs
+    from repro.core.ripple import ripple
+    from repro.graph.generators import planted_kvcc_graph
+
+    graph = planted_kvcc_graph(3, 30, 4, seed=0)
+    collector = obs.Collector()
+    collector.enable_spans()
+    with obs.collecting(collector):
+        ripple(graph, 4)
+    return collector
 
 
 if __name__ == "__main__":

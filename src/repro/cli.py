@@ -40,6 +40,7 @@ from repro.core.vcce_bu import vcce_bu
 from repro.core.vcce_td import vcce_td
 from repro.datasets.registry import DATASETS
 from repro.errors import ReproError
+from repro.flow import fastpath
 from repro.graph.io import read_edge_list
 from repro.obs.spans import render_span_tree, span_totals, to_chrome_trace
 from repro.parallel.executor import ParallelConfig, parallel_ripple
@@ -166,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
         "declared hung and re-dispatched",
     )
     enum.add_argument(
+        "--no-certificate",
+        action="store_true",
+        help="disable certificate sparsification of dense flow tests "
+        "(see docs/performance.md); results are identical either way",
+    )
+    enum.add_argument(
         "--quiet",
         action="store_true",
         help="print only the summary line, not the components",
@@ -263,6 +270,27 @@ def _cmd_enumerate(args: argparse.Namespace, runinfo: dict) -> int:
     deadline = (
         Deadline(args.deadline) if args.deadline is not None else None
     )
+    if args.no_certificate:
+        if args.algorithm == "parallel-ripple":
+            # The fast-path config is thread-local; it does not reach
+            # pool workers, so pretending would be worse than refusing.
+            print(
+                "note: --no-certificate does not propagate to "
+                "parallel-ripple workers; ignoring",
+                file=sys.stderr,
+            )
+        else:
+            with fastpath.configured(certificate=False):
+                return _dispatch_enumerate(args, runinfo, graph, deadline)
+    return _dispatch_enumerate(args, runinfo, graph, deadline)
+
+
+def _dispatch_enumerate(
+    args: argparse.Namespace,
+    runinfo: dict,
+    graph,
+    deadline: Deadline | None,
+) -> int:
     if args.algorithm == "parallel-ripple":
         config = ParallelConfig(workers=args.workers, backend=args.backend)
         supervision = SupervisionConfig(task_timeout=args.task_timeout)

@@ -35,9 +35,11 @@ from collections.abc import Hashable, Iterable
 from repro import obs
 from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
+from repro.flow import fastpath
 from repro.flow.network import VertexSplitNetwork
 from repro.graph.adjacency import Graph
 from repro.graph.cliques import maximal_cliques_at_least
+from repro.graph.forests import certificate_for_flow
 
 __all__ = [
     "unitary_expansion",
@@ -70,22 +72,31 @@ def unitary_expansion(
     _check_k(k)
     timer = timer or PhaseTimer()
     members = set(seed)
-    pending = [
-        u
+    # Inside-degree bookkeeping (mirrors RME's ring buckets): every
+    # boundary vertex carries |N(u) ∩ members|, updated on absorption,
+    # so no candidate ever recomputes the intersection from scratch.
+    inside_degree = {
+        u: len(graph.neighbors(u) & members)
         for u in graph.external_boundary(members)
-        if len(graph.neighbors(u) & members) >= k
-    ]
+    }
+    pending = [u for u, d in inside_degree.items() if d >= k]
     while pending:
         u = pending.pop()
         if u in members:
             continue
         timer.count("ue_checks")
-        if len(graph.neighbors(u) & members) < k:
-            continue
+        if inside_degree[u] < k:
+            continue  # stale queue entry
         members.add(u)
         obs.count("expansion.ue.absorbed")
         for v in graph.neighbors(u):
-            if v not in members and len(graph.neighbors(v) & members) >= k:
+            if v in members:
+                continue
+            # First touch of a 2+-hop vertex: u is its only absorbed
+            # neighbour (any earlier one would have registered it).
+            degree = inside_degree.get(v, 0) + 1
+            inside_degree[v] = degree
+            if degree >= k:
                 pending.append(v)
     return members
 
@@ -153,15 +164,38 @@ def _shrink_candidates(
     Returns the surviving candidate set (possibly empty): the largest
     ``C* ⊆ candidates`` whose every vertex reaches σ with ≥ k disjoint
     paths inside ``G[S ∪ C*] + σ``.
+
+    Fast path (see :mod:`repro.flow.fastpath`): the network is built
+    once per round and discarded candidates are *disabled* between
+    passes — flow-equivalent to rebuilding on the shrunk scope — so
+    every pass after the first skips network construction entirely.
+    On dense scopes the flow tests run on the CKT sparse certificate
+    instead; the certificate is only valid for the exact scope it was
+    built from, so certificate rounds rebuild per pass (each pass is
+    then k·n-arc cheap) rather than disabling into a stale certificate.
     """
+    config = fastpath.active()
     current = set(candidates)
+    network: VertexSplitNetwork | None = None
+    certified = False
     while current:
         obs.count("expansion.me.filter_passes")
-        network = VertexSplitNetwork(
-            graph,
-            members | current,
-            virtual_sources={SIGMA: members},
-        )
+        if network is None:
+            scope = members | current
+            host = graph
+            certified = False
+            if config.certificate:
+                certificate = certificate_for_flow(
+                    graph, scope, k, config.certificate_factor
+                )
+                if certificate is not None:
+                    host = certificate
+                    certified = True
+            network = VertexSplitNetwork(
+                host, scope, virtual_sources={SIGMA: members}
+            )
+        else:
+            obs.count("expansion.me.network_rebuilds_avoided")
         survivors = set()
         for u in current:
             timer.count("me_flow_calls")
@@ -174,7 +208,13 @@ def _shrink_candidates(
         )
         if survivors == current:
             return survivors
+        dropped = current - survivors
         current = survivors
+        if current and config.reuse_networks and not certified:
+            for u in dropped:
+                network.disable_vertex(u)
+        else:
+            network = None
     return current
 
 

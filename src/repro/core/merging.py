@@ -11,21 +11,33 @@
   all of S and τ to all of S' and merges iff ``max_flow(σ → τ) ≥ k``
   inside ``G[S ∪ S']``; an overlap of ≥ k vertices short-circuits the
   flow (any separator of the union would have to swallow the overlap).
+  Dense unions run the flow on the CKT sparse certificate of the union
+  instead (same verdict, ≤ k·(n-1) arcs — see
+  :func:`repro.graph.forests.certificate_for_flow`).
 * :func:`merge_components` — the fixed-point driver (Algorithm 2): keeps
   trying pairs until no two components merge, with a size-descending
-  order so big components absorb small ones early.
+  order so big components absorb small ones early. Instead of rescanning
+  all O(p²) pairs per round, an inverted vertex→component index plus a
+  boundary-adjacency candidate heap surfaces exactly the pairs that
+  touch, and a rejected-pair memo skips re-testing pairs neither of
+  whose sides changed since the last rejection (the whole final
+  round's flow work) — both invisible in the output, the test sequence
+  over touching pairs is byte-identical to the naive scan.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 
 from repro import obs
 from repro.core.expansion import SIGMA
 from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
+from repro.flow import fastpath
 from repro.flow.network import VertexSplitNetwork
 from repro.graph.adjacency import Graph
+from repro.graph.forests import certificate_for_flow
 
 __all__ = [
     "neighbor_based_merge_condition",
@@ -72,13 +84,43 @@ def flow_based_merge_condition(
     """FBM, Theorem 3: merge iff σ and τ are k-connected in the union."""
     timer.count("merge_checks")
     obs.count("merge.tests_attempted")
-    if len(side_a & side_b) >= k:
+    overlap = len(side_a & side_b)
+    if overlap >= k:
         obs.count("merge.tests_accepted")
         obs.count("merge.overlap_short_circuits")
         return True
+    # Exact rejection bound (NBM's count, Proposition 1, sound in this
+    # direction): a σ→τ path either passes through an overlap vertex or
+    # crosses between the pure sides, and vertex-disjoint paths cross
+    # through *distinct* boundary vertices. So κ(σ, τ) can reach k only
+    # if each pure side has ≥ k - overlap boundary vertices — checked
+    # with an early-exit scan before paying for a network build.
+    needed = k - overlap
+    for near, far in (
+        (side_a - side_b, side_b - side_a),
+        (side_b - side_a, side_a - side_b),
+    ):
+        boundary = 0
+        for v in near:
+            if graph.neighbors(v) & far:
+                boundary += 1
+                if boundary >= needed:
+                    break
+        if boundary < needed:
+            obs.count("merge.tests_rejected")
+            obs.count("merge.bound_short_circuits")
+            return False
     union = side_a | side_b
+    config = fastpath.active()
+    host = graph
+    if config.certificate:
+        certificate = certificate_for_flow(
+            graph, union, k, config.certificate_factor
+        )
+        if certificate is not None:
+            host = certificate
     network = VertexSplitNetwork(
-        graph,
+        host,
         union,
         virtual_sources={SIGMA: side_a, TAU: side_b},
     )
@@ -98,14 +140,24 @@ def merge_components(
     """Merge components pairwise until no pair satisfies ``condition``.
 
     Only pairs that touch (shared vertices or at least one crossing
-    edge) are tested — disjoint far-apart subgraphs can never be
-    k-connected together, and skipping them keeps the pass close to
-    linear in practice.
+    edge) are ever tested — disjoint far-apart subgraphs can never be
+    k-connected together. Touching pairs are found through an inverted
+    vertex→component index rather than a pairwise rescan, pairs
+    already rejected are skipped until one side changes, and merges
+    update the index incrementally; the sequence of condition
+    evaluations (and therefore the result) matches the naive
+    all-pairs scan exactly.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
     timer = timer or PhaseTimer()
     pool = [set(c) for c in components]
+    # Component identity survives merges (the absorbing side keeps its
+    # uid, bumping its version), so a rejected pair needs re-testing
+    # only when one side's (uid, version) changed.
+    uids = list(range(len(pool)))
+    versions = [0] * len(pool)
+    rejected: set[tuple] = set()
     merged_any = True
     round_no = 0
     while merged_any:
@@ -116,39 +168,89 @@ def merge_components(
         with obs.start_span(
             "merge.round", round=round_no, pool=len(pool)
         ):
-            pool.sort(key=len, reverse=True)
-            index = 0
-            while index < len(pool):
-                current = pool[index]
-                other_index = index + 1
-                while other_index < len(pool):
-                    other = pool[other_index]
-                    if _touches(graph, current, other):
-                        with obs.start_span(
-                            "merge.test",
-                            pair=[index, other_index],
-                            sizes=[len(current), len(other)],
-                        ):
-                            accepted = condition(
-                                graph, k, current, other, timer
-                            )
-                            obs.set_span_attrs(accepted=accepted)
-                    else:
-                        accepted = False
-                    if accepted:
-                        current |= other
-                        pool.pop(other_index)
-                        timer.count("merges")
-                        merged_any = True
-                    else:
-                        other_index += 1
-                index += 1
+            order = sorted(
+                range(len(pool)), key=lambda p: len(pool[p]), reverse=True
+            )
+            pool = [pool[p] for p in order]
+            uids = [uids[p] for p in order]
+            versions = [versions[p] for p in order]
+            member_index: dict = {}
+            for position, component in enumerate(pool):
+                for v in component:
+                    member_index.setdefault(v, set()).add(position)
+            alive = [True] * len(pool)
+            alive_count = len(pool)
+            alive_before = 0  # alive positions strictly below i
+
+            def touching(vertices) -> set[int]:
+                """Positions of components sharing or adjacent to ``vertices``."""
+                found: set[int] = set()
+                for v in vertices:
+                    owners = member_index.get(v)
+                    if owners:
+                        found |= owners
+                    for w in graph.neighbors(v):
+                        owners = member_index.get(w)
+                        if owners:
+                            found |= owners
+                return found
+
+            for i in range(len(pool)):
+                if not alive[i]:
+                    continue
+                current = pool[i]
+                beyond = alive_count - alive_before - 1
+                candidates = [
+                    p for p in touching(current) if p > i and alive[p]
+                ]
+                heapq.heapify(candidates)
+                queued = set(candidates)
+                examined = 0
+                last = i
+                while candidates:
+                    j = heapq.heappop(candidates)
+                    if j <= last or not alive[j]:
+                        continue
+                    last = j
+                    examined += 1
+                    key = (uids[i], versions[i], uids[j], versions[j])
+                    if key in rejected:
+                        obs.count("merge.tests_memoized")
+                        continue
+                    other = pool[j]
+                    with obs.start_span(
+                        "merge.test",
+                        pair=[i, j],
+                        sizes=[len(current), len(other)],
+                    ):
+                        accepted = condition(graph, k, current, other, timer)
+                        obs.set_span_attrs(accepted=accepted)
+                    if not accepted:
+                        rejected.add(key)
+                        continue
+                    for v in other:
+                        owners = member_index[v]
+                        owners.discard(j)
+                        owners.add(i)
+                    current |= other
+                    alive[j] = False
+                    alive_count -= 1
+                    versions[i] += 1
+                    timer.count("merges")
+                    merged_any = True
+                    # The grown component may touch positions the old
+                    # one did not; only positions past the scan pointer
+                    # matter (earlier ones get retried next round, just
+                    # as the naive scan would).
+                    for p in touching(other):
+                        if p > last and alive[p] and p not in queued:
+                            queued.add(p)
+                            heapq.heappush(candidates, p)
+                obs.count(
+                    "merge.pairs_skipped_by_index", max(0, beyond - examined)
+                )
+                alive_before += 1
+            pool = [c for c, a in zip(pool, alive) if a]
+            uids = [u for u, a in zip(uids, alive) if a]
+            versions = [v for v, a in zip(versions, alive) if a]
     return pool
-
-
-def _touches(graph: Graph, side_a: set, side_b: set) -> bool:
-    """Whether two vertex sets overlap or are joined by an edge."""
-    small, large = sorted((side_a, side_b), key=len)
-    if small & large:
-        return True
-    return any(graph.neighbors(u) & large for u in small)

@@ -1,5 +1,6 @@
 """Flow substrate: Dinic max-flow and vertex-connectivity queries."""
 
+from repro.flow import fastpath
 from repro.flow.connectivity import (
     find_vertex_cut,
     global_vertex_connectivity,
@@ -18,6 +19,7 @@ __all__ = [
     "Dinic",
     "EvenTarjan",
     "VertexSplitNetwork",
+    "fastpath",
     "find_vertex_cut",
     "global_vertex_connectivity",
     "is_k_vertex_connected",

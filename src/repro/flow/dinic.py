@@ -10,6 +10,14 @@ the right tool: O(E · sqrt(V)) on unit networks. All k-VCC questions
 are threshold questions ("is the flow ≥ k?"), so :meth:`Dinic.max_flow`
 accepts a ``cutoff`` and stops as soon as the threshold is reached —
 a large practical win that DESIGN.md §5 ablates.
+
+Capacities are integers throughout (vertex splitting only ever
+produces unit and "safely infinite" integer arcs), which keeps the
+inner-loop comparisons exact; ``cutoff=float("inf")`` stays accepted
+at the API boundary. Every arc a query saturates or un-saturates is
+recorded in :attr:`Dinic.dirty`, so callers that reset capacities
+between queries (:class:`repro.flow.network.VertexSplitNetwork`) can
+restore only the touched region instead of copying the whole array.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ class Dinic:
     arrays; the reverse edge of edge ``i`` is ``i ^ 1``.
     """
 
-    __slots__ = ("n", "head", "to", "cap", "next_edge", "_level", "_iter")
+    __slots__ = ("n", "head", "to", "cap", "next_edge", "dirty", "_level", "_iter")
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -39,18 +47,28 @@ class Dinic:
         self.n = n
         self.head = [-1] * n
         self.to: list[int] = []
-        self.cap: list[float] = []
+        self.cap: list[int] = []
         self.next_edge: list[int] = []
+        #: Forward-arc indices whose capacity changed since the last
+        #: :meth:`restore_capacities` (their ``^ 1`` twins changed too).
+        self.dirty: set[int] = set()
         self._level = [0] * n
         self._iter = [0] * n
 
-    def add_edge(self, u: int, v: int, capacity: float) -> int:
-        """Add directed edge ``u → v`` with the given capacity.
+    def add_edge(self, u: int, v: int, capacity: int) -> int:
+        """Add directed edge ``u → v`` with the given integer capacity.
 
         Returns the internal edge index (its residual twin is index+1).
         """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ParameterError(f"edge ({u}, {v}) out of range 0..{self.n - 1}")
+        if type(capacity) is not int:  # fast path: callers pass ints
+            if capacity != int(capacity):
+                raise ParameterError(
+                    f"capacity must be integral, got {capacity!r} "
+                    "(vertex-split networks only produce integer arcs)"
+                )
+            capacity = int(capacity)
         if capacity < 0:
             raise ParameterError(f"capacity must be non-negative, got {capacity}")
         index = len(self.to)
@@ -63,6 +81,80 @@ class Dinic:
         self.next_edge.append(self.head[v])
         self.head[v] = index + 1
         return index
+
+    def add_edges(self, endpoints: list[int], capacity: int) -> int:
+        """Bulk :meth:`add_edge` at one shared capacity.
+
+        ``endpoints`` is the flattened pair list ``[u0, v0, u1, v1, …]``.
+        Lays the arcs out exactly as ``add_edge(u0, v0)``,
+        ``add_edge(u1, v1)``, … would (twin at ``index ^ 1``) while
+        validating once and building the parallel arrays with slice and
+        ``extend`` operations — network construction adds thousands of
+        same-capacity arcs and is a measured hot path. Returns the edge
+        index of the first pair.
+        """
+        if type(capacity) is not int:  # fast path: callers pass ints
+            if capacity != int(capacity):
+                raise ParameterError(
+                    f"capacity must be integral, got {capacity!r} "
+                    "(vertex-split networks only produce integer arcs)"
+                )
+            capacity = int(capacity)
+        if capacity < 0:
+            raise ParameterError(f"capacity must be non-negative, got {capacity}")
+        if len(endpoints) % 2:
+            raise ParameterError(
+                f"endpoints must hold (u, v) pairs, got {len(endpoints)} values"
+            )
+        first = len(self.to)
+        if not endpoints:
+            return first
+        if min(endpoints) < 0 or max(endpoints) >= self.n:
+            raise ParameterError(
+                f"endpoints out of range 0..{self.n - 1}"
+            )
+        # Arc targets interleave as v0, u0, v1, u1, … — the endpoint
+        # list with each (u, v) swapped in place.
+        targets = endpoints[:]
+        targets[0::2] = endpoints[1::2]
+        targets[1::2] = endpoints[0::2]
+        self.to.extend(targets)
+        self.cap.extend([capacity, 0] * (len(endpoints) // 2))
+        # Only the head/next intrusive chains are order-dependent and
+        # need a Python-level loop.
+        head = self.head
+        next_append = self.next_edge.append
+        index = first
+        it = iter(endpoints)
+        for u, v in zip(it, it):
+            next_append(head[u])
+            head[u] = index
+            next_append(head[v])
+            head[v] = index + 1
+            index += 2
+        return first
+
+    def restore_capacities(self, caps0: list[int], full: bool = False) -> int:
+        """Reset ``cap`` to ``caps0``, touching only dirty arc pairs.
+
+        With ``full`` (or when the dirty set covers most of the
+        network, where a bulk slice copy is cheaper than indexed
+        stores) the whole array is copied instead. Returns the number
+        of arcs restored individually, or ``-1`` for a full copy — the
+        caller turns that into the ``flow.reset.*`` counters.
+        """
+        dirty = self.dirty
+        if full or 3 * len(dirty) >= len(caps0):
+            self.cap[:] = caps0
+            dirty.clear()
+            return -1
+        cap = self.cap
+        restored = len(dirty)
+        for e in dirty:
+            cap[e] = caps0[e]
+            cap[e ^ 1] = caps0[e ^ 1]
+        dirty.clear()
+        return restored
 
     def _bfs(self, source: int, sink: int) -> bool:
         """Build the level graph; True iff the sink is reachable."""
@@ -85,7 +177,7 @@ class Dinic:
                 e = nxt[e]
         return level[sink] >= 0
 
-    def _dfs(self, u: int, sink: int, pushed: float) -> float:
+    def _dfs(self, u: int, sink: int, pushed: int | float) -> int:
         """Send blocking flow along level-graph paths (iterative DFS).
 
         ``path_edges`` holds the edge indices from ``u`` to the current
@@ -96,8 +188,9 @@ class Dinic:
         """
         to, cap, nxt = self.to, self.cap, self.next_edge
         level, iters = self._level, self._iter
+        dirty = self.dirty
         path_edges: list[int] = []
-        total = 0.0
+        total = 0
         vertex = u
         while True:
             if vertex == sink:
@@ -109,6 +202,7 @@ class Dinic:
                 for e in path_edges:
                     cap[e] -= bottleneck
                     cap[e ^ 1] += bottleneck
+                dirty.update(path_edges)
                 total += bottleneck
                 if total >= pushed:
                     return total
@@ -138,8 +232,8 @@ class Dinic:
                 vertex = u if not path_edges else to[path_edges[-1]]
 
     def max_flow(
-        self, source: int, sink: int, cutoff: float = _INF
-    ) -> float:
+        self, source: int, sink: int, cutoff: int | float = _INF
+    ) -> int | float:
         """Maximum flow from ``source`` to ``sink``.
 
         With ``cutoff`` set, stops as soon as the accumulated flow
@@ -152,7 +246,7 @@ class Dinic:
         # Aggregated into the enclosing span (one counter triple, not a
         # tree node per call — there are thousands of calls per run).
         with obs.agg_span("flow.dinic.max_flow"):
-            flow = 0.0
+            flow = 0
             while flow < cutoff and self._bfs(source, sink):
                 obs.count("flow.dinic.bfs_phases")
                 self._iter = list(self.head)

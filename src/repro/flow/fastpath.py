@@ -1,0 +1,92 @@
+"""Runtime switches for the flow-engine fast path.
+
+The fast path is a bundle of three independently toggleable
+optimisations (see ``docs/performance.md``):
+
+* **dirty reset** — :class:`repro.flow.network.VertexSplitNetwork`
+  restores only the arcs the previous query touched instead of copying
+  the whole capacity array;
+* **network reuse** — Multiple Expansion keeps one network per filter
+  round and *disables* discarded candidates between passes instead of
+  rebuilding from scratch;
+* **certificate** — ME and FBM flow tests on dense induced subgraphs
+  run on the Cheriyan–Kao–Thurimella sparse certificate (at most
+  ``k(n-1)`` edges) instead of the full subgraph.
+
+Every optimisation is exact: enumeration output is identical with any
+combination toggled off (``tests/test_fastpath.py`` asserts this
+differentially). The switches exist for ablation benches and as an
+escape hatch, not because results change.
+
+Configuration is thread-local, mirroring the :mod:`repro.obs`
+collector scoping: :func:`configured` overrides for a block,
+:func:`active` reads the current settings. Worker processes start from
+:data:`DEFAULT`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DEFAULT",
+    "FastPathConfig",
+    "active",
+    "configured",
+]
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Switches for the flow-engine fast path (all on by default)."""
+
+    #: Restore only query-touched arcs on network reset (O(touched)
+    #: instead of O(E) per flow query).
+    dirty_reset: bool = True
+
+    #: Reuse one ME network per filter round, disabling discarded
+    #: candidates between passes instead of rebuilding.
+    reuse_networks: bool = True
+
+    #: Run ME/FBM flow tests on the CKT sparse certificate when the
+    #: induced subgraph is dense (the CLI's ``--no-certificate``
+    #: disables this).
+    certificate: bool = True
+
+    #: Density threshold: the certificate activates when the induced
+    #: subgraph has more than ``certificate_factor * k * n`` edges.
+    #: The certificate itself has at most ``k * (n - 1)`` edges, so a
+    #: factor of 2 guarantees at least a halving of flow work.
+    certificate_factor: float = 2.0
+
+
+DEFAULT = FastPathConfig()
+
+_tls = threading.local()
+
+
+def active() -> FastPathConfig:
+    """The thread's active fast-path configuration."""
+    return getattr(_tls, "config", DEFAULT)
+
+
+@contextmanager
+def configured(**overrides):
+    """Scope fast-path overrides over a block (thread-local).
+
+    >>> from repro.flow import fastpath
+    >>> with fastpath.configured(certificate=False) as config:
+    ...     config.certificate
+    False
+    >>> fastpath.active().certificate
+    True
+    """
+    previous = active()
+    current = replace(previous, **overrides)
+    _tls.config = current
+    try:
+        yield current
+    finally:
+        _tls.config = previous

@@ -8,7 +8,23 @@ becomes the two arcs ``u_out → v_in`` and ``v_out → u_in``. A flow from
 
 :class:`VertexSplitNetwork` builds the arc structure once per graph and
 resets capacities between queries, so repeated local-connectivity tests
-(the inner loop of ME and FBM) do not rebuild adjacency arrays.
+(the inner loop of ME and FBM) do not rebuild adjacency arrays. Two
+fast-path mechanics keep repeated queries cheap (both exact, both
+toggleable via :mod:`repro.flow.fastpath`):
+
+* **dirty reset** — the reset between queries restores only the arcs
+  the previous query touched (``Dinic.dirty``), turning the per-query
+  O(E) capacity copy into O(touched);
+* **vertex disabling** — :meth:`disable_vertex` soft-removes a vertex
+  by zeroing its split arc and incident edge arcs (with saved-capacity
+  bookkeeping so :meth:`enable_vertex` restores them), which lets
+  Multiple Expansion shrink its candidate scope between filter passes
+  without reconstructing the network.
+
+Vertex labels are indexed in a sorted (repr-keyed) order and incident
+arcs are laid out in index order, so the network's edge layout — and
+therefore residual-cut tie-breaks — is identical across processes
+regardless of ``PYTHONHASHSEED`` (``tests/test_determinism.py``).
 
 Virtual vertices (the σ and τ of Theorems 1 and 3) are ordinary vertices
 here: callers add them to the member set with their adjacency before
@@ -19,7 +35,9 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
+from repro import obs
 from repro.errors import GraphError, ParameterError
+from repro.flow import fastpath
 from repro.flow.dinic import Dinic
 from repro.graph.adjacency import Graph
 
@@ -40,7 +58,19 @@ class VertexSplitNetwork:
         is adjacent to. Virtual labels must not collide with members.
     """
 
-    __slots__ = ("_index", "_dinic", "_caps0", "_adjacent")
+    __slots__ = (
+        "_index",
+        "_dinic",
+        "_caps0",
+        "_caps_build",
+        "_adjacent",
+        "_internal_arc",
+        "_arcs_of",
+        "_blocks",
+        "_disabled",
+        "_dirty_reset",
+        "_queries",
+    )
 
     def __init__(
         self,
@@ -61,32 +91,61 @@ class VertexSplitNetwork:
                 f"virtual labels collide with members: {collisions!r}"
             )
 
+        obs.count("flow.network.builds")
+        # Index members in sorted order so the arc layout does not
+        # depend on set iteration order (hash randomisation); repr is
+        # the tie-break for label sets no natural order covers. Virtual
+        # labels follow in their mapping's insertion order.
+        try:
+            member_order = sorted(member_set)
+        except TypeError:
+            member_order = sorted(member_set, key=repr)
         self._index: dict[Hashable, int] = {}
-        for u in member_set:
+        for u in member_order:
             self._index[u] = len(self._index)
         for label in virtuals:
             self._index[label] = len(self._index)
+        index = self._index
 
-        n = len(self._index)
+        n = len(index)
         dinic = Dinic(2 * n)
-        # w_in = 2i, w_out = 2i + 1; internal arc capacity 1.
-        for i in range(n):
-            dinic.add_edge(2 * i, 2 * i + 1, 1)
+        # Incident arc ids per vertex, recovered lazily from the Dinic
+        # adjacency on the first disable_vertex (most networks never
+        # disable anything, and recording ids per edge here would cost
+        # a third of the construction time).
+        self._arcs_of: dict[Hashable, list[int]] = {}
+        # w_in = 2i, w_out = 2i + 1; internal arc capacity 1. Added
+        # first and in index order, so label i's internal arc sits at
+        # edge index 2i — and the flattened (2i, 2i+1) pair list is
+        # just 0..2n-1.
+        first = dinic.add_edges(list(range(2 * n)), 1)
+        self._internal_arc: dict[Hashable, int] = {
+            label: first + 2 * i for label, i in index.items()
+        }
         # Edge arcs must exceed any possible flow value so minimum cuts
         # cross only internal arcs — that is what lets min_vertex_cut
         # read the cut as a set of *vertices*. Total flow is capped by
         # the n unit internal arcs, so 2n + 1 is safely "infinite".
         big = 2 * n + 1
-        self._adjacent: dict[Hashable, set] = {}
-        for u in member_set:
-            inside = graph.neighbors(u) & member_set
-            self._adjacent[u] = set(inside)
-            ui = self._index[u]
-            for v in inside:
-                vi = self._index[v]
-                if ui < vi:
-                    dinic.add_edge(2 * ui + 1, 2 * vi, big)
-                    dinic.add_edge(2 * vi + 1, 2 * ui, big)
+        endpoints: list[int] = []
+        append = endpoints.append
+        adjacent: dict[Hashable, set] = {}
+        self._adjacent = adjacent
+        neighbors = graph.neighbors
+        for ui, u in enumerate(member_order):
+            inside = neighbors(u) & member_set
+            adjacent[u] = inside
+            # Each undirected edge is laid out once, from its lower
+            # index; sorting the (halved) index list keeps the arc
+            # layout independent of set iteration order.
+            upper = [vi for v in inside if (vi := index[v]) > ui]
+            upper.sort()
+            out = 2 * ui + 1
+            for vi in upper:
+                append(out)
+                append(2 * vi)
+                append(2 * vi + 1)
+                append(2 * ui)
         for label, attached in virtuals.items():
             attach_set = set(attached)
             outside = attach_set - member_set
@@ -95,15 +154,29 @@ class VertexSplitNetwork:
                     f"virtual vertex {label!r} attaches outside members: "
                     f"{sorted(map(repr, outside))[:5]}"
                 )
-            self._adjacent[label] = attach_set
-            li = self._index[label]
-            for v in attach_set:
-                self._adjacent[v].add(label)
-                vi = self._index[v]
-                dinic.add_edge(2 * li + 1, 2 * vi, big)
-                dinic.add_edge(2 * vi + 1, 2 * li, big)
+            adjacent[label] = attach_set
+            li = index[label]
+            l_out = 2 * li + 1
+            attach_indices = [index[v] for v in attach_set]
+            attach_indices.sort()
+            for vi in attach_indices:
+                adjacent[member_order[vi]].add(label)
+                append(l_out)
+                append(2 * vi)
+                append(2 * vi + 1)
+                append(2 * li)
+        dinic.add_edges(endpoints, big)
         self._dinic = dinic
         self._caps0 = list(dinic.cap)
+        # Pristine construction-time capacities: _caps0 additionally
+        # reflects disabled vertices, this copy never changes. Aliased
+        # until the first disable actually diverges them (most networks
+        # never disable anything, and the extra O(E) copy would show).
+        self._caps_build = self._caps0
+        self._blocks: dict[int, int] = {}
+        self._disabled: set = set()
+        self._dirty_reset = fastpath.active().dirty_reset
+        self._queries = 0
 
     @classmethod
     def with_virtual(
@@ -130,12 +203,89 @@ class VertexSplitNetwork:
         """Whether ``u`` and ``v`` are adjacent inside the network."""
         return v in self._adjacent[u]
 
+    def is_disabled(self, u: Hashable) -> bool:
+        """Whether ``u`` is currently soft-removed by :meth:`disable_vertex`."""
+        return u in self._disabled
+
+    def disable_vertex(self, u: Hashable) -> None:
+        """Soft-remove ``u``: zero its split arc and incident edge arcs.
+
+        Flow can no longer pass through (or start/end at) ``u``, so
+        queries behave exactly as on the network rebuilt without it.
+        The zeroed capacities are folded into the reset baseline, which
+        is what lets one network object serve every pass of an ME
+        filter round. Re-enable with :meth:`enable_vertex`.
+        """
+        if u not in self._index:
+            raise ParameterError(f"{u!r} is not in the network")
+        if u in self._disabled:
+            raise ParameterError(f"{u!r} is already disabled")
+        if self._caps_build is self._caps0:
+            self._caps_build = list(self._caps0)
+        self._disabled.add(u)
+        obs.count("flow.network.vertex_disables")
+        caps0, cap, blocks = self._caps0, self._dinic.cap, self._blocks
+        for arc in self._incident_arcs(u):
+            blocks[arc] = blocks.get(arc, 0) + 1
+            caps0[arc] = 0
+            cap[arc] = 0
+
+    def enable_vertex(self, u: Hashable) -> None:
+        """Undo :meth:`disable_vertex`, restoring the saved capacities.
+
+        An arc shared with another still-disabled vertex stays at zero
+        until that vertex is enabled too (per-arc block counting).
+        """
+        if u not in self._disabled:
+            raise ParameterError(f"{u!r} is not disabled")
+        self._disabled.discard(u)
+        caps0, cap, blocks = self._caps0, self._dinic.cap, self._blocks
+        build = self._caps_build
+        for arc in self._incident_arcs(u):
+            blocks[arc] -= 1
+            if blocks[arc] == 0:
+                del blocks[arc]
+                caps0[arc] = build[arc]
+                cap[arc] = build[arc]
+
+    def _incident_arcs(self, u: Hashable) -> list[int]:
+        """Every Dinic arc touching ``u``'s split pair, twins included.
+
+        Walked from the adjacency arrays on first use and cached: the
+        chains of ``u_in`` and ``u_out`` hold the internal arc, every
+        incident edge arc's forward copy, and the residual twins of the
+        arcs pointing at ``u`` — so ``e`` plus ``e ^ 1`` over both
+        chains covers the vertex's whole footprint. (Twins are zero in
+        the pristine capacities; blocking and restoring them is a
+        harmless no-op that keeps this enumeration simple.)
+        """
+        arcs = self._arcs_of.get(u)
+        if arcs is None:
+            dinic = self._dinic
+            head, next_edge = dinic.head, dinic.next_edge
+            ui = self._index[u]
+            arcs = []
+            for node in (2 * ui, 2 * ui + 1):
+                e = head[node]
+                while e != -1:
+                    arcs.append(e)
+                    arcs.append(e ^ 1)
+                    e = next_edge[e]
+            self._arcs_of[u] = arcs
+        return arcs
+
     def _reset(self) -> None:
-        self._dinic.cap[:] = self._caps0
+        restored = self._dinic.restore_capacities(
+            self._caps0, full=not self._dirty_reset
+        )
+        if restored < 0:
+            obs.count("flow.reset.full")
+        else:
+            obs.count("flow.reset.dirty_edges", restored)
 
     def max_flow(
         self, source: Hashable, sink: Hashable, cutoff: float = float("inf")
-    ) -> float:
+    ) -> int | float:
         """Max flow (= vertex-disjoint path count) for a non-adjacent pair.
 
         Equals κ(source, sink) inside the network by Menger's theorem.
@@ -150,11 +300,16 @@ class VertexSplitNetwork:
         for label in (source, sink):
             if label not in self._index:
                 raise ParameterError(f"{label!r} is not in the network")
+            if label in self._disabled:
+                raise ParameterError(f"{label!r} is disabled in the network")
         if self.adjacent(source, sink):
             raise ParameterError(
                 f"{source!r} and {sink!r} are adjacent: κ is unbounded "
                 "(use local_connectivity_at_least)"
             )
+        if self._queries:
+            obs.count("flow.network.reuses")
+        self._queries += 1
         self._reset()
         s = 2 * self._index[source] + 1  # source's out-node
         t = 2 * self._index[sink]  # sink's in-node

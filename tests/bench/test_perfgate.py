@@ -192,6 +192,9 @@ class TestScripts:
         current = tmp_path / "current.json"
         run = self._run(
             "bench_compare.py", str(baseline), "--repeats", "1",
+            # Generous tolerance: this test checks the artifact, not the
+            # gate, and single-repeat walls are noisy under suite load.
+            "--wall-tolerance", "5.0",
             "--save-current", str(current),
         )
         assert run.returncode == 0, run.stdout + run.stderr

@@ -1,0 +1,221 @@
+"""The flow fast path is invisible: every toggle yields identical output.
+
+The optimisations of :mod:`repro.flow.fastpath` (dirty-capacity reset,
+network reuse with vertex disabling, certificate-sparsified flow tests)
+plus the indexed/memoized merge driver are pure speed-ups — Theorems 1
+and 3 are evaluated on flow-equivalent networks either way. These tests
+pin that claim: enumeration output is compared component-by-component
+between the default configuration and every toggle's off position,
+across the planted generators and k ∈ {2, 3, 4}.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.expansion import multiple_expansion
+from repro.core.merging import flow_based_merge_condition, merge_components
+from repro.core.result import PhaseTimer
+from repro.core.ripple import ripple, ripple_me
+from repro.flow import fastpath
+from repro.graph.generators import (
+    clique_graph,
+    community_graph,
+    planted_kvcc_graph,
+)
+
+# Each toggle individually off, plus everything off (the pre-fast-path
+# behaviour); the default-on run is the reference.
+TOGGLES = [
+    {"dirty_reset": False},
+    {"reuse_networks": False},
+    {"certificate": False},
+    {"dirty_reset": False, "reuse_networks": False, "certificate": False},
+]
+
+
+def _graph_for(k: int):
+    if k == 2:
+        return community_graph([12, 12], k=2, seed=3)
+    if k == 3:
+        return planted_kvcc_graph(2, 20, 3, seed=1)
+    return planted_kvcc_graph(3, 30, 4, seed=0)
+
+
+def _canonical(result):
+    return sorted(sorted(map(str, c)) for c in result.components)
+
+
+class TestConfigScoping:
+    def test_defaults(self):
+        config = fastpath.active()
+        assert config.dirty_reset is True
+        assert config.reuse_networks is True
+        assert config.certificate is True
+
+    def test_configured_overrides_and_restores(self):
+        with fastpath.configured(certificate=False):
+            assert fastpath.active().certificate is False
+            assert fastpath.active().dirty_reset is True
+            with fastpath.configured(dirty_reset=False):
+                assert fastpath.active().certificate is False
+                assert fastpath.active().dirty_reset is False
+            assert fastpath.active().dirty_reset is True
+        assert fastpath.active() is fastpath.DEFAULT
+
+    def test_configured_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fastpath.configured(reuse_networks=False):
+                raise RuntimeError("boom")
+        assert fastpath.active() is fastpath.DEFAULT
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            with fastpath.configured(warp_drive=True):
+                pass  # pragma: no cover
+
+
+class TestDifferential:
+    """Identical components with every optimisation on vs off."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize(
+        "overrides", TOGGLES, ids=lambda o: "+".join(sorted(o))
+    )
+    def test_ripple_output_invariant(self, k, overrides):
+        graph = _graph_for(k)
+        reference = _canonical(ripple(graph, k))
+        with fastpath.configured(**overrides):
+            toggled = _canonical(ripple(graph, k))
+        assert toggled == reference
+
+    @pytest.mark.parametrize("k", [3, 4])
+    @pytest.mark.parametrize(
+        "overrides", TOGGLES, ids=lambda o: "+".join(sorted(o))
+    )
+    def test_ripple_me_output_invariant(self, k, overrides):
+        graph = _graph_for(k)
+        reference = _canonical(ripple_me(graph, k))
+        with fastpath.configured(**overrides):
+            toggled = _canonical(ripple_me(graph, k))
+        assert toggled == reference
+
+    def test_certificate_parameter_equals_context(self):
+        graph = planted_kvcc_graph(2, 20, 3, seed=1)
+        via_param = _canonical(ripple(graph, 3, certificate=False))
+        with fastpath.configured(certificate=False):
+            via_context = _canonical(ripple(graph, 3))
+        assert via_param == via_context == _canonical(ripple(graph, 3))
+
+
+def _pendant_clique():
+    """A K8 plus a pendant vertex with only k-1 = 2 anchors.
+
+    ME from a 4-vertex seed keeps the clique remainder but must drop
+    the pendant: pass 1 shrinks (drop), pass 2 confirms the fixed
+    point on the reused network.
+    """
+    graph = clique_graph(8)
+    graph.add_edge(100, 0)
+    graph.add_edge(100, 1)
+    return graph
+
+
+class TestCounters:
+    """The fast path reports what it does through repro.obs."""
+
+    def test_dirty_reset_counters(self):
+        graph = planted_kvcc_graph(3, 30, 4, seed=0)
+        with obs.collecting() as on:
+            ripple_me(graph, 4)
+        assert on.counter("flow.reset.dirty_edges") > 0
+        assert on.counter("flow.reset.full") == 0
+        with fastpath.configured(dirty_reset=False):
+            with obs.collecting() as off:
+                ripple_me(graph, 4)
+        assert off.counter("flow.reset.dirty_edges") == 0
+        assert off.counter("flow.reset.full") > 0
+
+    def test_network_reuse_counters(self):
+        graph = planted_kvcc_graph(3, 30, 4, seed=0)
+        with obs.collecting() as collector:
+            ripple_me(graph, 4)
+        assert collector.counter("flow.network.builds") > 0
+        assert collector.counter("flow.network.reuses") > 0
+
+    def test_me_rebuilds_avoided_when_reusing(self):
+        graph = _pendant_clique()
+        with obs.collecting() as on:
+            grown = multiple_expansion(graph, 3, {0, 1, 2, 3})
+        assert grown == set(range(8))
+        assert on.counter("expansion.me.network_rebuilds_avoided") > 0
+        assert on.counter("flow.network.vertex_disables") > 0
+        with fastpath.configured(reuse_networks=False):
+            with obs.collecting() as off:
+                grown = multiple_expansion(graph, 3, {0, 1, 2, 3})
+        assert grown == set(range(8))
+        assert off.counter("expansion.me.network_rebuilds_avoided") == 0
+        assert off.counter("flow.network.vertex_disables") == 0
+
+    def test_certificate_activates_on_dense_scope(self):
+        # A 40-clique scope: 780 edges vs factor·k·n = 2·3·40 = 240.
+        graph = clique_graph(40)
+        with obs.collecting() as collector:
+            grown = multiple_expansion(graph, 3, {0, 1, 2, 3})
+        assert grown == set(range(40))
+        assert collector.counter("certificate.activations") > 0
+        with fastpath.configured(certificate=False):
+            with obs.collecting() as off:
+                grown = multiple_expansion(graph, 3, {0, 1, 2, 3})
+        assert grown == set(range(40))
+        assert off.counter("certificate.activations") == 0
+
+    def test_certificate_activates_in_fbm(self):
+        graph = clique_graph(40)
+        side_a = set(range(20))
+        side_b = set(range(20, 40))
+        with obs.collecting() as collector:
+            verdict = flow_based_merge_condition(
+                graph, 3, side_a, side_b, PhaseTimer()
+            )
+        assert verdict is True
+        assert collector.counter("certificate.activations") > 0
+
+    def test_certificate_silent_on_sparse_graph(self):
+        graph = community_graph([12, 12], k=2, seed=3)
+        with obs.collecting() as collector:
+            ripple(graph, 2)
+        assert collector.counter("certificate.activations") == 0
+
+    def test_merge_memoization_counters(self):
+        # Three K6s: the first provides two overlapping halves that
+        # merge in round 1; the other two touch through only 2 bridge
+        # edges, so their pair is rejected — and round 2 retests it
+        # with unchanged (uid, version) sides, hitting the memo.
+        graph = clique_graph(6)
+        for offset in (10, 20):
+            clique = clique_graph(6, offset=offset)
+            for u, v in clique.edges():
+                graph.add_edge(u, v)
+        graph.add_edge(10, 20)
+        graph.add_edge(11, 21)
+        pool = [
+            set(range(10, 16)),
+            set(range(20, 26)),
+            {0, 1, 2, 3},
+            {2, 3, 4, 5},
+        ]
+        with obs.collecting() as collector:
+            merged = merge_components(
+                graph, 3, pool, flow_based_merge_condition
+            )
+        assert sorted(map(len, merged)) == [6, 6, 6]
+        assert collector.counter("merge.tests_memoized") >= 1
+        assert collector.counter("merge.rounds") == 2
+
+    def test_index_skips_far_pairs(self):
+        graph = planted_kvcc_graph(3, 30, 4, seed=0)
+        with obs.collecting() as collector:
+            ripple(graph, 4)
+        # Seeds from different communities mostly do not touch; the
+        # inverted index never surfaces those pairs.
+        assert collector.counter("merge.pairs_skipped_by_index") > 0
