@@ -54,6 +54,7 @@ from repro.graph import Graph, read_edge_list, write_edge_list
 from repro.metrics import accuracy_report, f_same, j_index
 from repro.parallel import ParallelConfig, parallel_ripple
 from repro.resilience import Deadline, FaultPlan, SupervisionConfig
+from repro.serving import KvccIndex, QueryEngine
 
 __version__ = "1.0.0"
 
@@ -64,10 +65,12 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphFormatError",
+    "KvccIndex",
     "ParallelConfig",
     "ParameterError",
     "ParseError",
     "PhaseTimer",
+    "QueryEngine",
     "ReproError",
     "SupervisionConfig",
     "VCCResult",

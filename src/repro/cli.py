@@ -8,7 +8,11 @@ Subcommands:
   (connectivity and maximality of every component);
 * ``datasets`` — list the registered benchmark datasets;
 * ``bench`` — regenerate one of the paper's tables/figures as text;
-* ``stats diff`` — compare two saved ``repro.obs/1`` documents.
+* ``stats diff`` — compare two saved ``repro.obs/1`` documents;
+* ``index build`` / ``index inspect`` — materialise the k-VCC
+  hierarchy into a persistent query index / describe a saved one;
+* ``serve`` — answer QkVCS queries over line-delimited JSON (stdio or
+  TCP) from an index, with live fallback (see ``docs/serving.md``).
 
 The top-level ``--stats`` flag (also accepted after ``enumerate``)
 runs the command under a live :mod:`repro.obs` collector and appends
@@ -232,6 +236,77 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--seed", type=int, default=0, help="planted: RNG seed (default 0)"
     )
+
+    index = sub.add_parser(
+        "index",
+        help="build or inspect a persistent k-VCC query index",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build",
+        help="materialise the k-VCC hierarchy of a graph into an index file",
+    )
+    build.add_argument("path", help="edge-list file (u v per line)")
+    build.add_argument(
+        "-o", "--output", required=True, help="index file to write"
+    )
+    build.add_argument(
+        "--max-k",
+        type=int,
+        default=None,
+        help="cap the indexed ceiling (default: index to exhaustion; "
+        "queries above a capped ceiling fall back to live enumeration)",
+    )
+    inspect = index_sub.add_parser(
+        "inspect", help="describe a saved index file"
+    )
+    inspect.add_argument("path", help="an index file from `ripple index build`")
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer k-VCC queries over line-delimited JSON "
+        "(see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--graph",
+        help="edge-list file to serve (enables live fallback and "
+        "build-on-first-use when the index is missing or stale)",
+    )
+    serve.add_argument(
+        "--index",
+        help="index file from `ripple index build`; a missing file "
+        "degrades to build-on-first-use when --graph is given",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on TCP instead of stdio (PORT 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="TCP: maximum concurrently answered requests (default 4)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-request deadline; batches cut short return their "
+        "completed prefix with a 'deadline' error code",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU result-cache capacity, 0 disables (default 1024)",
+    )
+    serve.add_argument(
+        "--max-k",
+        type=int,
+        default=None,
+        help="cap for an index built on first use (default: exhaustive)",
+    )
     return parser
 
 
@@ -403,6 +478,128 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.serving import KvccIndex
+
+    if args.index_command == "build":
+        graph = read_edge_list(args.path, allow_self_loops=True)
+        index = KvccIndex.build(graph, max_k=args.max_k)
+        index.save(args.output)
+        print(
+            f"index saved to {args.output}: {index.num_vertices} vertices, "
+            f"{index.num_edges} edges, ceiling k={index.ceiling} "
+            f"({'complete' if index.complete else f'capped at {index.max_k}'})"
+        )
+        return 0
+    index = KvccIndex.load(args.path)
+    print(
+        f"{args.path}: repro.kvcc-index/1, fingerprint "
+        f"{index.fingerprint[:16]}…"
+    )
+    print(
+        f"graph: {index.num_vertices} vertices, {index.num_edges} edges; "
+        f"ceiling k={index.ceiling} "
+        f"({'complete' if index.complete else f'capped at {index.max_k}'})"
+    )
+    depth = index.membership_levels()
+    rows = [
+        [
+            k,
+            len(components),
+            ", ".join(str(len(c)) for c in components),
+            sum(1 for level in depth.values() if level == k),
+        ]
+        for k, components in index.levels.items()
+    ]
+    print(
+        reporting.render_table(
+            "Indexed levels",
+            ["k", "components", "sizes", "vertices deepest here"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serving import (
+        KvccIndex,
+        QueryEngine,
+        ServeSettings,
+        serve_stdio,
+        serve_tcp,
+    )
+
+    graph = (
+        read_edge_list(args.graph, allow_self_loops=True)
+        if args.graph
+        else None
+    )
+    index = None
+    if args.index:
+        if os.path.exists(args.index):
+            index = KvccIndex.load(args.index)
+        elif graph is None:
+            print(
+                f"error: index file {args.index} does not exist and no "
+                f"--graph was given to build one from",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        else:
+            print(
+                f"note: index file {args.index} missing; degrading to "
+                f"build-on-first-use from {args.graph}",
+                file=sys.stderr,
+            )
+    if graph is None and index is None:
+        print("error: serve needs --graph, --index, or both", file=sys.stderr)
+        return EXIT_ERROR
+    engine = QueryEngine(
+        graph, index, cache_size=args.cache_size, max_k=args.max_k
+    )
+    settings = ServeSettings(
+        request_timeout=args.request_timeout, workers=args.workers
+    )
+    if args.tcp:
+        import threading
+
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        handle = serve_tcp(
+            engine,
+            settings,
+            host=host or "127.0.0.1",
+            port=port,
+            background=True,
+        )
+        bound_host, bound_port = handle.address
+        print(
+            f"ripple serve: listening on {bound_host}:{bound_port} "
+            f"(Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            threading.Event().wait()
+        finally:
+            handle.shutdown()
+        return 0
+    served = serve_stdio(
+        engine, settings, in_stream=sys.stdin, out_stream=sys.stdout
+    )
+    print(f"ripple serve: session over, {served} request(s)", file=sys.stderr)
+    return 0
+
+
 def _load_stats_doc(path: str) -> obs.Collector:
     with open(path, encoding="utf-8") as handle:
         return obs.Collector.from_json(handle.read())
@@ -500,6 +697,10 @@ def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
         return _cmd_generate(args)
     if args.command == "stats":
         return _cmd_stats_diff(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_bench(args)
 
 

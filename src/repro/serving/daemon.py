@@ -1,0 +1,176 @@
+"""The ``ripple serve`` daemon: stdio and TCP front ends.
+
+Both front ends speak the line-delimited JSON protocol of
+:mod:`repro.serving.protocol` over the same :class:`QueryEngine`:
+
+* **stdio** — one session on stdin/stdout, for subprocess embedding
+  and shell pipelines (requests in, responses out, in order);
+* **TCP** — a threading server handling each connection in its own
+  thread; a bounded worker semaphore caps how many requests are
+  *answered* concurrently (connections beyond the cap queue at the
+  semaphore, not in the kernel backlog).
+
+Per-request deadlines reuse :class:`repro.resilience.Deadline` and are
+cooperative: expiry is observed at query boundaries, so a batch cut
+short returns its completed prefix with a ``deadline`` error code.
+
+Degradation is graceful end to end: a missing index file means the
+engine builds one from the graph on first use (the first query pays
+the build; the rest ride it), and a stale index (fingerprint mismatch
+against the served graph) is rebuilt instead of serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from dataclasses import dataclass
+from typing import IO
+
+from repro import obs
+from repro.serving.engine import QueryEngine
+from repro.serving.protocol import handle_line
+
+__all__ = ["ServeSettings", "TcpServerHandle", "serve_stdio", "serve_tcp"]
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Daemon tunables shared by the stdio and TCP front ends."""
+
+    #: Per-request wall-clock budget in seconds (None = unbounded).
+    request_timeout: float | None = None
+    #: Maximum requests answered concurrently (TCP only).
+    workers: int = 4
+
+
+def serve_stdio(
+    engine: QueryEngine,
+    settings: ServeSettings = ServeSettings(),
+    *,
+    in_stream: IO[str],
+    out_stream: IO[str],
+) -> int:
+    """Serve one session over text streams; returns served request count.
+
+    Ends at EOF or after a ``shutdown`` op. Blank lines are ignored,
+    malformed lines get ``parse`` error responses — the session
+    survives bad input.
+    """
+    served = 0
+    obs.count("serving.sessions")
+    for line in in_stream:
+        response, keep_serving = handle_line(
+            engine, line, request_timeout=settings.request_timeout
+        )
+        if response:
+            served += 1
+            out_stream.write(response + "\n")
+            out_stream.flush()
+        if not keep_serving:
+            break
+    return served
+
+
+class _SessionHandler(socketserver.StreamRequestHandler):
+    """One TCP connection = one protocol session (line in, line out)."""
+
+    def handle(self) -> None:
+        server: _TcpServer = self.server  # type: ignore[assignment]
+        obs.set_collector(server.collector)
+        obs.count("serving.sessions")
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            with server.worker_slots:
+                response, keep_serving = handle_line(
+                    server.engine,
+                    line,
+                    request_timeout=server.settings.request_timeout,
+                )
+            if response:
+                try:
+                    self.wfile.write(response.encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    return
+            if not keep_serving:
+                return
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: QueryEngine,
+        settings: ServeSettings,
+    ) -> None:
+        super().__init__(address, _SessionHandler)
+        self.engine = engine
+        self.settings = settings
+        self.worker_slots = threading.BoundedSemaphore(
+            max(1, settings.workers)
+        )
+        # Handler threads inherit the collector active at server
+        # creation: counters from concurrent sessions all land in the
+        # run's collector (Collector.count is a dict update under the
+        # GIL; merge-safe for our integer bumps).
+        self.collector = obs.get_collector()
+
+
+class TcpServerHandle:
+    """A running TCP daemon: address for clients, shutdown for owners."""
+
+    def __init__(self, server: _TcpServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even if 0 was asked."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the socket, join the acceptor thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "TcpServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve_tcp(
+    engine: QueryEngine,
+    settings: ServeSettings = ServeSettings(),
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    background: bool = False,
+) -> TcpServerHandle | None:
+    """Serve the protocol over TCP.
+
+    ``background=True`` returns a :class:`TcpServerHandle` immediately
+    (tests, embedding); otherwise this blocks until interrupted and
+    returns None. ``port=0`` binds an ephemeral port (read it off the
+    handle's :attr:`~TcpServerHandle.address`).
+    """
+    server = _TcpServer((host, port), engine, settings)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="ripple-serve-acceptor",
+            daemon=True,
+        )
+        thread.start()
+        return TcpServerHandle(server, thread)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return None

@@ -1,0 +1,313 @@
+"""The query engine: batched QkVCS answers from the index, cached.
+
+A :class:`QueryEngine` turns the "which k-VCC contains this vertex?"
+question (the paper's QkVCS building block, exposed live as
+:func:`repro.core.query.kvcc_containing`) into an amortised service:
+
+* answers come from a :class:`~repro.serving.index.KvccIndex` in
+  O(lookup) — built once, reused by every query;
+* a bounded LRU cache short-circuits repeated (vertex, k) pairs, the
+  dominant shape of real query traffic;
+* k above an incomplete index's ceiling falls back to the live
+  enumerator, so capped indexes degrade to correct-but-slower instead
+  of wrong;
+* a missing index degrades gracefully: the first query builds it from
+  the graph (build-on-first-use), later queries ride the result.
+
+Everything is thread-safe (the TCP daemon serves connections from
+concurrent threads) and instrumented with ``serving.*`` counters and
+spans (see the catalogue in ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.query import kvcc_containing
+from repro.errors import ParameterError, ReproError
+from repro.graph.adjacency import Graph
+from repro.graph.traversal import component_of
+from repro.resilience import Deadline
+from repro.serving.index import KvccIndex
+
+__all__ = [
+    "BatchDeadlineExpired",
+    "LRUCache",
+    "QueryEngine",
+    "QueryResult",
+]
+
+
+class BatchDeadlineExpired(ReproError):
+    """A batch's deadline expired between queries.
+
+    Deadlines are cooperative (checked at query boundaries, like the
+    pipeline's stage boundaries): the queries answered before expiry
+    ride along in :attr:`completed` so callers can return a partial
+    response instead of discarding paid-for work.
+    """
+
+    def __init__(self, completed: list["QueryResult"], total: int) -> None:
+        super().__init__(
+            f"deadline expired after {len(completed)} of {total} queries"
+        )
+        self.completed = completed
+        self.total = total
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered QkVCS query.
+
+    ``components`` holds *every* k-VCC of level ``k`` containing the
+    vertex — distinct k-VCCs may overlap in up to k-1 vertices, so
+    overlap vertices get several. ``source`` says where the answer came
+    from: ``"cache"``, ``"index"``, or ``"live"`` (above-ceiling
+    fallback; live answers mirror :func:`kvcc_containing` and carry at
+    most one component).
+    """
+
+    vertex: Hashable
+    k: int
+    components: tuple[frozenset, ...]
+    source: str
+
+    @property
+    def best(self) -> frozenset | None:
+        """The first (largest, per hierarchy order) component, or None —
+        the shape :func:`repro.core.query.kvcc_containing` returns."""
+        return self.components[0] if self.components else None
+
+
+class LRUCache:
+    """A small thread-safe LRU map; ``capacity=0`` disables caching."""
+
+    __slots__ = ("_capacity", "_data", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ParameterError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value (refreshed to most-recent), or None."""
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        """Insert/refresh; evicts the least-recent entry beyond capacity."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                obs.count("serving.cache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class QueryEngine:
+    """Answers single and batched QkVCS queries from an index + cache.
+
+    Construct with a graph, an index, or both:
+
+    * graph only — the index is built on first use (and ``max_k`` caps
+      how deep);
+    * index only — pure lookups; above-ceiling queries on an incomplete
+      index raise (there is no graph to fall back to);
+    * both — the index is checked against the graph's fingerprint and
+      rebuilt when stale, and above-ceiling queries fall back to live
+      :func:`kvcc_containing` enumeration.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | None = None,
+        index: KvccIndex | None = None,
+        *,
+        cache_size: int = 1024,
+        max_k: int | None = None,
+    ) -> None:
+        if graph is None and index is None:
+            raise ParameterError("QueryEngine needs a graph, an index, or both")
+        self._graph = graph
+        self._index = index
+        self._max_k = max_k
+        self._cache = LRUCache(cache_size)
+        self._lock = threading.Lock()
+        # (num_vertices, num_edges) of the graph the current index was
+        # last fingerprint-verified against; None = not yet verified.
+        self._validated: tuple[int, int] | None = None
+
+    # -- index management ----------------------------------------------
+
+    @property
+    def cache(self) -> LRUCache:
+        return self._cache
+
+    @property
+    def index(self) -> KvccIndex | None:
+        """The current index (None until built on first use)."""
+        return self._index
+
+    @property
+    def graph(self) -> Graph | None:
+        return self._graph
+
+    def ensure_index(self) -> KvccIndex:
+        """The index, building (missing) or rebuilding (stale) as needed.
+
+        Staleness is fingerprint-checked when the engine first adopts a
+        (graph, index) pairing and again whenever the graph's size
+        changes; between those events each call costs two int
+        comparisons, so the full O(E) fingerprint never lands on the
+        per-query path. An in-place edit that preserves both vertex and
+        edge counts slips past the probe — after one, hand the engine a
+        fresh index (or a freshly copied graph) instead of mutating
+        underneath it.
+        """
+        with self._lock:
+            if self._index is not None and self._graph is not None:
+                probe = (self._graph.num_vertices, self._graph.num_edges)
+                if self._validated != probe:
+                    if self._index.is_stale(self._graph):
+                        obs.count("serving.index.stale_rebuilds")
+                        self._index = KvccIndex.build(
+                            self._graph, max_k=self._max_k
+                        )
+                        self._cache.clear()
+                    self._validated = probe
+            if self._index is None:
+                self._index = KvccIndex.build(self._graph, max_k=self._max_k)
+                self._validated = (
+                    self._graph.num_vertices,
+                    self._graph.num_edges,
+                )
+            return self._index
+
+    # -- queries -------------------------------------------------------
+
+    def query(
+        self,
+        vertex: Hashable,
+        k: int,
+        *,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        """Answer one QkVCS query.
+
+        Resolution order: cache → index → live fallback (above an
+        incomplete index's ceiling, needs the graph). The deadline is
+        checked once before any live work; expiry raises
+        :class:`BatchDeadlineExpired` with no completed answers.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        obs.count("serving.queries")
+        cached = self._cache.get((vertex, k))
+        if cached is not None:
+            obs.count("serving.cache.hits")
+            return QueryResult(vertex, k, cached, "cache")
+        obs.count("serving.cache.misses")
+        if deadline is not None and deadline.expired():
+            raise BatchDeadlineExpired([], 1)
+        with obs.start_span("serving.query", k=k):
+            index = self.ensure_index()
+            if vertex not in index:
+                raise ParameterError(
+                    f"vertex {vertex!r} not in the served graph"
+                )
+            if index.covers(k):
+                obs.count("serving.index.hits")
+                components = index.containing(vertex, k)
+                source = "index"
+            else:
+                components = self._live_fallback(vertex, k)
+                source = "live"
+        self._cache.put((vertex, k), components)
+        return QueryResult(vertex, k, components, source)
+
+    def query_batch(
+        self,
+        queries: Iterable[tuple[Hashable, int]],
+        *,
+        deadline: Deadline | None = None,
+    ) -> list[QueryResult]:
+        """Answer ``(vertex, k)`` pairs in order.
+
+        The deadline is checked between queries (cooperatively, like
+        the pipeline's stage boundaries); on expiry the completed
+        prefix rides along in :class:`BatchDeadlineExpired`.
+        """
+        pairs = list(queries)
+        results: list[QueryResult] = []
+        with obs.start_span("serving.batch", size=len(pairs)):
+            obs.count("serving.batches")
+            for vertex, k in pairs:
+                if deadline is not None and deadline.expired():
+                    obs.count("serving.deadline_expirations")
+                    raise BatchDeadlineExpired(results, len(pairs))
+                results.append(self.query(vertex, k))
+        return results
+
+    def _live_fallback(self, vertex: Hashable, k: int) -> tuple[frozenset, ...]:
+        """Exact live answer for k above an incomplete index's ceiling."""
+        if self._graph is None:
+            raise ParameterError(
+                f"k={k} is above the indexed ceiling and the engine "
+                f"has no graph for a live fallback"
+            )
+        obs.count("serving.live.fallbacks")
+        with obs.start_span("serving.live_fallback", k=k):
+            if k == 1:
+                component = component_of(self._graph, vertex)
+                if len(component) > 1:
+                    return (frozenset(component),)
+                return ()
+            component = kvcc_containing(self._graph, vertex, k)
+            return () if component is None else (component,)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-able summary for the wire protocol's ``stats`` op."""
+        index = self._index
+        return {
+            "cache": {
+                "capacity": self._cache.capacity,
+                "entries": len(self._cache),
+            },
+            "index": None
+            if index is None
+            else {
+                "ceiling": index.ceiling,
+                "complete": index.complete,
+                "num_vertices": index.num_vertices,
+                "num_edges": index.num_edges,
+                "fingerprint": index.fingerprint,
+            },
+            "has_graph": self._graph is not None,
+        }

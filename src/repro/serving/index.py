@@ -1,0 +1,356 @@
+"""The persistent k-VCC index: the hierarchy, materialised and versioned.
+
+k-VCCs nest (every (k+1)-VCC lies inside a k-VCC), so the full
+:func:`repro.core.hierarchy.kvcc_hierarchy` decomposition is the
+natural precomputable answer store for per-vertex connectivity queries
+— the same observation behind Wen et al.'s top-down enumeration and
+Chang's hierarchical decompositions. A :class:`KvccIndex` freezes one
+decomposition into an O(1)-lookup structure:
+
+* ``vertex → {k: component ids}`` membership, covering overlap
+  vertices that belong to several k-VCCs of the same level;
+* a **fingerprint** of the graph it was built from, so a stale index
+  is detected instead of silently serving wrong answers;
+* a **ceiling**: the largest indexed k. An index built without a
+  ``max_k`` cap is *complete* — above the ceiling there are provably
+  no components, so any k is answerable. A capped index answers
+  ``k <= max_k`` and reports everything above as uncovered, which the
+  query engine resolves with a live :func:`repro.core.query.kvcc_containing`
+  call.
+
+Serialisation is a canonical, versioned JSON document
+(``repro.kvcc-index/1``): key order, member order, and separators are
+fixed, so ``save → load → save`` is byte-identical and index files
+diff cleanly. The format is documented in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Hashable
+
+from repro import obs
+from repro.core.hierarchy import kvcc_hierarchy
+from repro.errors import ParameterError, ParseError
+from repro.graph.adjacency import Graph
+
+__all__ = ["INDEX_SCHEMA", "KvccIndex", "graph_fingerprint"]
+
+#: Schema identifier embedded in every index file; bumped on layout
+#: changes so old files are rejected instead of misread.
+INDEX_SCHEMA = "repro.kvcc-index/1"
+
+
+def _check_label(vertex: Hashable) -> Hashable:
+    """Index files are JSON; only int and str labels survive a round trip."""
+    if isinstance(vertex, bool) or not isinstance(vertex, (int, str)):
+        raise ParameterError(
+            f"indexable graphs need int or str vertex labels, "
+            f"got {vertex!r} ({type(vertex).__name__})"
+        )
+    return vertex
+
+
+def _label_key(vertex: Hashable) -> tuple[str, str]:
+    """A total order over mixed int/str labels (ints before strs,
+    ints numerically, strs lexicographically)."""
+    if isinstance(vertex, int):
+        return ("int", f"{vertex:024d}" if vertex >= 0 else f"-{-vertex:023d}")
+    return ("str", str(vertex))
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A deterministic hex digest of the graph's exact structure.
+
+    Hashes the canonical sorted edge list plus the sorted vertex list
+    (so isolated vertices count too). Two graphs share a fingerprint
+    iff they have identical vertex and edge sets — the staleness test
+    behind :meth:`KvccIndex.is_stale`.
+    """
+    digest = hashlib.sha256()
+    for vertex in sorted(graph.vertices(), key=_label_key):
+        digest.update(json.dumps(_check_label(vertex)).encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    edges = sorted(
+        tuple(sorted((u, v), key=_label_key)) for u, v in graph.edges()
+    )
+    for u, v in edges:
+        digest.update(json.dumps([u, v]).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class KvccIndex:
+    """An immutable, serialisable k-VCC hierarchy with O(1) membership.
+
+    Build one with :meth:`build`, persist it with :meth:`save`, and
+    reload it with :meth:`load`; answer queries with :meth:`containing`
+    (all k-VCCs of a vertex at level k) after checking :meth:`covers`.
+    """
+
+    __slots__ = (
+        "_fingerprint",
+        "_levels",
+        "_max_k",
+        "_membership",
+        "_num_edges",
+        "_num_vertices",
+        "_vertices",
+    )
+
+    def __init__(
+        self,
+        fingerprint: str,
+        levels: dict[int, list[frozenset]],
+        vertices: frozenset,
+        *,
+        max_k: int | None,
+        num_vertices: int,
+        num_edges: int,
+    ) -> None:
+        self._fingerprint = fingerprint
+        self._levels = {
+            k: tuple(levels[k]) for k in sorted(levels)
+        }
+        self._vertices = vertices
+        self._max_k = max_k
+        self._num_vertices = num_vertices
+        self._num_edges = num_edges
+        # vertex -> {k: (component positions, ascending)}: the O(1)
+        # lookup table; overlap vertices get several positions per k.
+        membership: dict[Hashable, dict[int, tuple[int, ...]]] = {}
+        for k, components in self._levels.items():
+            for position, component in enumerate(components):
+                for vertex in component:
+                    slots = membership.setdefault(vertex, {})
+                    slots[k] = slots.get(k, ()) + (position,)
+        self._membership = membership
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: Graph, max_k: int | None = None) -> "KvccIndex":
+        """Materialise the hierarchy of ``graph`` into an index.
+
+        ``max_k`` caps the indexed ceiling (queries above it fall back
+        to live enumeration in the query engine); ``None`` indexes to
+        natural exhaustion, making the index *complete*.
+        """
+        if max_k is not None and max_k < 1:
+            raise ParameterError(f"max_k must be >= 1, got {max_k}")
+        for vertex in graph.vertices():
+            _check_label(vertex)
+        with obs.start_span("serving.index.build", max_k=max_k):
+            levels = kvcc_hierarchy(graph, max_k=max_k)
+            index = cls(
+                graph_fingerprint(graph),
+                levels,
+                frozenset(graph.vertices()),
+                max_k=max_k,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
+        obs.count("serving.index.builds")
+        obs.count(
+            "serving.index.components",
+            sum(len(components) for components in levels.values()),
+        )
+        return index
+
+    # -- basic facts ---------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The source graph's :func:`graph_fingerprint`."""
+        return self._fingerprint
+
+    @property
+    def max_k(self) -> int | None:
+        """The build-time cap (``None`` = built to exhaustion)."""
+        return self._max_k
+
+    @property
+    def ceiling(self) -> int:
+        """The largest k with indexed components (0 for empty graphs)."""
+        return max(self._levels, default=0)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every k is answerable from the index alone.
+
+        True when the hierarchy was built to natural exhaustion: above
+        the ceiling there are provably no k-VCCs, so the exact answer
+        for any higher k is "none".
+        """
+        return self._max_k is None or self.ceiling < self._max_k
+
+    @property
+    def levels(self) -> dict[int, tuple[frozenset, ...]]:
+        """Level → components, exactly as :func:`kvcc_hierarchy` orders them."""
+        return dict(self._levels)
+
+    @property
+    def vertices(self) -> frozenset:
+        """The indexed graph's full vertex set (isolated vertices included)."""
+        return self._vertices
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|`` of the indexed graph."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` of the indexed graph."""
+        return self._num_edges
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self._vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KvccIndex(n={self._num_vertices}, m={self._num_edges}, "
+            f"ceiling={self.ceiling}, complete={self.complete})"
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def covers(self, k: int) -> bool:
+        """Whether level ``k`` is answerable from the index alone."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        return k <= self.ceiling or self.complete
+
+    def components_at(self, k: int) -> tuple[frozenset, ...]:
+        """Every k-VCC at level ``k`` (empty above the ceiling)."""
+        if not self.covers(k):
+            raise ParameterError(
+                f"k={k} is above the indexed ceiling "
+                f"({self.ceiling}, capped at max_k={self._max_k})"
+            )
+        return self._levels.get(k, ())
+
+    def containing(self, vertex: Hashable, k: int) -> tuple[frozenset, ...]:
+        """All k-VCCs at level ``k`` containing ``vertex`` (maybe several:
+        distinct k-VCCs overlap in up to k-1 vertices).
+
+        Raises :class:`ParameterError` for vertices outside the indexed
+        graph and for k above an incomplete index's ceiling.
+        """
+        if not self.covers(k):
+            raise ParameterError(
+                f"k={k} is above the indexed ceiling "
+                f"({self.ceiling}, capped at max_k={self._max_k})"
+            )
+        if vertex not in self._vertices:
+            raise ParameterError(f"vertex {vertex!r} not in indexed graph")
+        positions = self._membership.get(vertex, {}).get(k, ())
+        components = self._levels.get(k, ())
+        return tuple(components[i] for i in positions)
+
+    def membership_levels(self) -> dict[Hashable, int]:
+        """Per-vertex deepest level, like
+        :func:`repro.core.hierarchy.membership_levels` but from the index."""
+        depth = {u: 0 for u in self._vertices}
+        for k in sorted(self._levels):
+            for component in self._levels[k]:
+                for u in component:
+                    depth[u] = k
+        return depth
+
+    def is_stale(self, graph: Graph) -> bool:
+        """Whether ``graph`` no longer matches the indexed fingerprint."""
+        return graph_fingerprint(graph) != self._fingerprint
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical ``repro.kvcc-index/1`` document (stable bytes)."""
+        payload = {
+            "schema": INDEX_SCHEMA,
+            "fingerprint": self._fingerprint,
+            "max_k": self._max_k,
+            "ceiling": self.ceiling,
+            "complete": self.complete,
+            "num_vertices": self._num_vertices,
+            "num_edges": self._num_edges,
+            "vertices": sorted(self._vertices, key=_label_key),
+            "levels": {
+                str(k): [
+                    sorted(component, key=_label_key)
+                    for component in components
+                ]
+                for k, components in self._levels.items()
+            },
+        }
+        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+
+    @classmethod
+    def from_json(cls, document: str) -> "KvccIndex":
+        """Rebuild an index from :meth:`to_json` output.
+
+        Raises :class:`repro.errors.ParseError` on malformed documents,
+        unknown schemas, and membership/count inconsistencies.
+        """
+        try:
+            payload = json.loads(document)
+            if payload.get("schema") != INDEX_SCHEMA:
+                raise ValueError(
+                    f"unknown schema {payload.get('schema')!r}, "
+                    f"expected {INDEX_SCHEMA!r}"
+                )
+            vertices = frozenset(
+                _check_label(v) for v in payload["vertices"]
+            )
+            levels = {
+                int(k): [frozenset(members) for members in components]
+                for k, components in payload["levels"].items()
+            }
+            index = cls(
+                str(payload["fingerprint"]),
+                levels,
+                vertices,
+                max_k=(
+                    None if payload["max_k"] is None
+                    else int(payload["max_k"])
+                ),
+                num_vertices=int(payload["num_vertices"]),
+                num_edges=int(payload["num_edges"]),
+            )
+            if index.ceiling != int(payload["ceiling"]):
+                raise ValueError(
+                    f"ceiling {payload['ceiling']} does not match "
+                    f"levels (computed {index.ceiling})"
+                )
+            if len(vertices) != index.num_vertices:
+                raise ValueError(
+                    f"num_vertices {index.num_vertices} does not match "
+                    f"vertex list ({len(vertices)})"
+                )
+            for k, components in index.levels.items():
+                for component in components:
+                    if not component <= vertices:
+                        raise ValueError(
+                            f"level {k} component mentions vertices "
+                            f"outside the vertex list"
+                        )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ParseError(
+                f"not a valid {INDEX_SCHEMA} document: {exc}"
+            ) from exc
+        return index
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the canonical document to ``path`` (newline-terminated)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "KvccIndex":
+        """Read an index saved by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

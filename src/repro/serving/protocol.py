@@ -1,0 +1,192 @@
+"""The wire protocol: line-delimited JSON requests and responses.
+
+One request per line, one response line per request, in order — the
+simplest protocol that works identically over stdio and TCP and is
+scriptable with ``echo`` + ``nc``. Documented with examples in
+``docs/serving.md``.
+
+Operations (the ``"op"`` field):
+
+* ``ping`` — liveness + protocol version;
+* ``query`` — one QkVCS lookup: ``{"op": "query", "v": 7, "k": 3}``;
+* ``batch`` — many lookups in one round trip:
+  ``{"op": "batch", "queries": [{"v": 7, "k": 3}, …]}``;
+* ``stats`` — engine/cache/index introspection;
+* ``shutdown`` — close this session (the daemon's loop ends).
+
+Every response carries ``"ok"``; errors add ``"error"`` (a message)
+and ``"code"`` (machine-readable: ``parse``, ``bad-request``,
+``unknown-vertex``, ``unsupported-op``, ``deadline``, ``internal``).
+An ``"id"`` field, when present in a request, is echoed verbatim so
+pipelined clients can match responses.
+
+This module is pure request → response logic
+(:func:`handle_request` / :func:`handle_line`); the socket and stdio
+plumbing lives in :mod:`repro.serving.daemon`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.errors import ParameterError, ReproError
+from repro.resilience import Deadline
+from repro.serving.engine import BatchDeadlineExpired, QueryEngine, QueryResult
+
+__all__ = ["PROTOCOL", "handle_line", "handle_request"]
+
+#: Protocol identifier reported by ``ping`` and rejected-by clients on
+#: incompatible changes.
+PROTOCOL = "repro.serve/1"
+
+_OPS = ("ping", "query", "batch", "stats", "shutdown")
+
+
+def _sort_key(vertex) -> tuple[str, str]:
+    if isinstance(vertex, int):
+        return ("int", f"{vertex:024d}" if vertex >= 0 else f"-{-vertex:023d}")
+    return ("str", str(vertex))
+
+
+def _encode_result(result: QueryResult) -> dict:
+    return {
+        "v": result.vertex,
+        "k": result.k,
+        "components": [
+            sorted(component, key=_sort_key)
+            for component in result.components
+        ],
+        "count": len(result.components),
+        "source": result.source,
+    }
+
+
+def _error(message: str, code: str) -> dict:
+    obs.count("serving.errors")
+    return {"ok": False, "error": message, "code": code}
+
+
+def _parse_query(doc: dict) -> tuple:
+    if "v" not in doc:
+        raise ParameterError("query needs a 'v' (vertex) field")
+    k = doc.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ParameterError(f"query needs an integer 'k' >= 1, got {k!r}")
+    vertex = doc["v"]
+    if isinstance(vertex, bool) or not isinstance(vertex, (int, str)):
+        raise ParameterError(
+            f"vertex must be an int or str label, got {vertex!r}"
+        )
+    return vertex, k
+
+
+def handle_request(
+    engine: QueryEngine,
+    request: dict,
+    *,
+    deadline: Deadline | None = None,
+) -> tuple[dict, bool]:
+    """Answer one decoded request; returns ``(response, keep_serving)``.
+
+    ``keep_serving`` is False only for ``shutdown``. The deadline
+    bounds this request's live work (checked cooperatively at query
+    boundaries); expiry yields a ``deadline`` error response carrying
+    the completed prefix of a batch.
+    """
+    op = request.get("op")
+    if op not in _OPS:
+        response = _error(
+            f"unsupported op {op!r} (expected one of {', '.join(_OPS)})",
+            "unsupported-op",
+        )
+        return response, True
+    obs.count("serving.requests")
+    obs.count(f"serving.requests.{op}")
+    keep_serving = True
+    try:
+        if op == "ping":
+            response = {"ok": True, "op": "ping", "protocol": PROTOCOL}
+        elif op == "stats":
+            response = {"ok": True, "op": "stats", "stats": engine.stats()}
+        elif op == "shutdown":
+            response = {"ok": True, "op": "shutdown"}
+            keep_serving = False
+        elif op == "query":
+            vertex, k = _parse_query(request)
+            result = engine.query(vertex, k, deadline=deadline)
+            response = {"ok": True, "op": "query", **_encode_result(result)}
+        else:  # batch
+            queries = request.get("queries")
+            if not isinstance(queries, list):
+                raise ParameterError("batch needs a 'queries' list")
+            pairs = [_parse_query(q) for q in _as_dicts(queries)]
+            results = engine.query_batch(pairs, deadline=deadline)
+            response = {
+                "ok": True,
+                "op": "batch",
+                "results": [_encode_result(r) for r in results],
+                "count": len(results),
+            }
+    except BatchDeadlineExpired as exc:
+        response = _error(str(exc), "deadline")
+        response["results"] = [_encode_result(r) for r in exc.completed]
+        response["completed"] = len(exc.completed)
+        response["total"] = exc.total
+    except ParameterError as exc:
+        code = (
+            "unknown-vertex"
+            if "not in the served graph" in str(exc)
+            else "bad-request"
+        )
+        response = _error(str(exc), code)
+    except ReproError as exc:  # pragma: no cover - defensive
+        response = _error(str(exc), "internal")
+    if "id" in request:
+        response["id"] = request["id"]
+    return response, keep_serving
+
+
+def _as_dicts(queries: list) -> list[dict]:
+    for query in queries:
+        if not isinstance(query, dict):
+            raise ParameterError(
+                f"batch queries must be objects, got {query!r}"
+            )
+    return queries
+
+
+def handle_line(
+    engine: QueryEngine,
+    line: str,
+    *,
+    request_timeout: float | None = None,
+) -> tuple[str, bool]:
+    """Decode one request line, answer it, encode one response line.
+
+    A fresh per-request :class:`Deadline` is armed from
+    ``request_timeout`` (``None`` = unbounded). Malformed JSON gets a
+    ``parse`` error response instead of killing the session.
+    """
+    line = line.strip()
+    if not line:
+        return "", True
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+    except ValueError as exc:
+        return (
+            json.dumps(
+                _error(f"bad request line: {exc}", "parse"),
+                separators=(",", ":"),
+            ),
+            True,
+        )
+    deadline = (
+        Deadline(request_timeout) if request_timeout is not None else None
+    )
+    response, keep_serving = handle_request(
+        engine, request, deadline=deadline
+    )
+    return json.dumps(response, separators=(",", ":")), keep_serving

@@ -1,0 +1,149 @@
+"""The serve daemon: stdio sessions, concurrent TCP, degradation."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import obs
+from repro.graph.generators import planted_kvcc_graph
+from repro.serving import (
+    KvccIndex,
+    QueryEngine,
+    ServeSettings,
+    serve_stdio,
+    serve_tcp,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_kvcc_graph(2, 12, 3, seed=9)
+
+
+def _session(out: str) -> list[dict]:
+    return [json.loads(line) for line in out.splitlines()]
+
+
+class TestStdio:
+    def _serve(self, engine, text, settings=ServeSettings()):
+        out = io.StringIO()
+        served = serve_stdio(
+            engine,
+            settings,
+            in_stream=io.StringIO(text),
+            out_stream=out,
+        )
+        return served, _session(out.getvalue())
+
+    def test_session_in_order(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        served, responses = self._serve(
+            engine,
+            '{"op":"ping"}\n'
+            '{"op":"query","v":0,"k":3,"id":1}\n'
+            "\n"
+            '{"op":"query","v":99,"k":3,"id":2}\n',
+        )
+        assert served == 3
+        assert [r.get("id") for r in responses] == [None, 1, 2]
+        assert responses[0]["protocol"].startswith("repro.serve/")
+        assert responses[1]["ok"] and 0 in responses[1]["components"][0]
+        assert responses[2]["code"] == "unknown-vertex"
+
+    def test_shutdown_ends_before_eof(self, graph):
+        engine = QueryEngine(graph)
+        served, responses = self._serve(
+            engine,
+            '{"op":"shutdown"}\n{"op":"ping"}\n',
+        )
+        assert served == 1
+        assert responses[0]["op"] == "shutdown"
+
+    def test_missing_index_degrades_to_build_on_first_use(self, graph):
+        engine = QueryEngine(graph)  # no index at all
+        with obs.collecting() as collector:
+            served, responses = self._serve(
+                engine, '{"op":"query","v":0,"k":2}\n'
+            )
+        assert responses[0]["ok"] and responses[0]["source"] == "index"
+        assert collector.counter("serving.index.builds") == 1
+
+    def test_request_timeout_applies_per_request(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        served, responses = self._serve(
+            engine,
+            '{"op":"batch","queries":[{"v":0,"k":2}]}\n',
+            ServeSettings(request_timeout=0.0),
+        )
+        assert responses[0]["code"] == "deadline"
+        assert responses[0]["results"] == []
+
+
+class TestTcp:
+    def _ask(self, address, lines):
+        with socket.create_connection(address, timeout=10) as sock:
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            answers = []
+            for line in lines:
+                stream.write(line + "\n")
+                stream.flush()
+                answers.append(json.loads(stream.readline()))
+            return answers
+
+    def test_serves_and_shuts_down(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with serve_tcp(engine, background=True) as handle:
+            answers = self._ask(
+                handle.address,
+                ['{"op":"ping"}', '{"op":"query","v":3,"k":3}'],
+            )
+            assert answers[0]["ok"] and answers[1]["ok"]
+            assert 3 in answers[1]["components"][0]
+
+    def test_concurrent_connections_all_answered(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        settings = ServeSettings(workers=2)
+        failures: list[Exception] = []
+
+        def client(vertex: int) -> None:
+            try:
+                answers = self._ask(
+                    handle.address,
+                    [json.dumps({"op": "query", "v": vertex, "k": 3})],
+                )
+                assert answers[0]["ok"], answers[0]
+                assert vertex in answers[0]["components"][0]
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        with serve_tcp(engine, settings, background=True) as handle:
+            threads = [
+                threading.Thread(target=client, args=(vertex,))
+                for vertex in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures
+
+    def test_counters_reach_the_servers_collector(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with obs.collecting() as collector:
+            with serve_tcp(engine, background=True) as handle:
+                self._ask(handle.address, ['{"op":"query","v":0,"k":2}'])
+        assert collector.counter("serving.requests") == 1
+        assert collector.counter("serving.queries") == 1
+        assert collector.counter("serving.sessions") == 1
+
+    def test_session_survives_malformed_line(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with serve_tcp(engine, background=True) as handle:
+            answers = self._ask(
+                handle.address, ["{nope", '{"op":"ping"}']
+            )
+            assert answers[0]["code"] == "parse"
+            assert answers[1]["ok"]

@@ -1,0 +1,208 @@
+"""QueryEngine: differential correctness, cache, fallback, deadlines.
+
+The load-bearing suite is the differential one: for every vertex and
+every indexed k across three generator families, batched indexed
+answers must agree with direct :func:`kvcc_containing` enumeration —
+including overlap vertices (several k-VCCs per level) and k above a
+capped index's ceiling (live fallback).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.query import kvcc_containing
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    community_graph,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+)
+from repro.resilience import Deadline
+from repro.serving import (
+    BatchDeadlineExpired,
+    KvccIndex,
+    LRUCache,
+    QueryEngine,
+)
+
+GRAPHS = {
+    "planted": planted_kvcc_graph(3, 16, 4, seed=7),
+    "community": community_graph([14, 12], k=3, seed=1),
+    "overlap": overlapping_cliques_graph(3, 6, overlap=2, seed=0),
+}
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_batched_indexed_answers_match_direct(self, name, tmp_path):
+        graph = GRAPHS[name]
+        index = KvccIndex.build(graph)
+        path = tmp_path / "idx.json"
+        index.save(path)
+        engine = QueryEngine(graph, KvccIndex.load(path))
+
+        ks = range(2, index.ceiling + 2)  # +1 probes above the ceiling
+        queries = [(v, k) for v in graph.vertices() for k in ks]
+        results = engine.query_batch(queries)
+        overlap_vertices = 0
+        for result in results:
+            direct = kvcc_containing(graph, result.vertex, result.k)
+            if direct is None:
+                assert result.components == ()
+                assert result.best is None
+            else:
+                # kvcc_containing returns *one* k-VCC of the vertex; the
+                # index returns all of them (overlap vertices belong to
+                # up to k-1 of a level's components).
+                assert direct in result.components
+                if len(result.components) == 1:
+                    assert result.best == direct
+                else:
+                    overlap_vertices += 1
+        if name == "overlap":
+            assert overlap_vertices > 0, "overlap family must exercise overlap"
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_above_ceiling_fallback_matches_direct(self, name):
+        graph = GRAPHS[name]
+        engine = QueryEngine(graph, KvccIndex.build(graph, max_k=2))
+        for vertex in graph.vertices():
+            result = engine.query(vertex, 3)
+            assert result.source == "live"
+            direct = kvcc_containing(graph, vertex, 3)
+            if direct is None:
+                assert result.components == ()
+            else:
+                assert result.components == (direct,)
+
+
+class TestEngineBasics:
+    def test_build_on_first_use(self):
+        graph = GRAPHS["planted"]
+        engine = QueryEngine(graph)
+        assert engine.index is None
+        with obs.collecting() as collector:
+            result = engine.query(0, 2)
+        assert result.source == "index"
+        assert engine.index is not None
+        assert collector.counter("serving.index.builds") == 1
+        # second query reuses the built index
+        with obs.collecting() as collector:
+            engine.query(1, 2)
+        assert collector.counter("serving.index.builds") == 0
+
+    def test_stale_index_rebuilt_against_graph(self):
+        graph = GRAPHS["planted"]
+        index = KvccIndex.build(graph)
+        edited = graph.copy()
+        u = next(iter(edited.vertices()))
+        v = next(
+            w for w in edited.vertices()
+            if w != u and not edited.has_edge(u, w)
+        )
+        edited.add_edge(u, v)
+        engine = QueryEngine(edited, index)
+        with obs.collecting() as collector:
+            engine.query(u, 2)
+        assert collector.counter("serving.index.stale_rebuilds") == 1
+        assert not engine.index.is_stale(edited)
+
+    def test_index_only_engine_rejects_uncovered_k(self):
+        index = KvccIndex.build(GRAPHS["planted"], max_k=2)
+        engine = QueryEngine(index=index)
+        assert engine.query(0, 2).source == "index"
+        with pytest.raises(ParameterError):
+            engine.query(0, 3)
+
+    def test_complete_index_answers_any_k_without_graph(self):
+        index = KvccIndex.build(GRAPHS["planted"])
+        engine = QueryEngine(index=index)
+        assert engine.query(0, index.ceiling + 50).components == ()
+
+    def test_unknown_vertex_and_bad_k_raise(self):
+        engine = QueryEngine(GRAPHS["planted"])
+        with pytest.raises(ParameterError):
+            engine.query("ghost", 2)
+        with pytest.raises(ParameterError):
+            engine.query(0, 0)
+        with pytest.raises(ParameterError):
+            QueryEngine()
+
+    def test_k_equals_one_matches_connected_component(self):
+        graph = GRAPHS["community"]
+        engine = QueryEngine(graph)
+        result = engine.query(0, 1)
+        assert len(result.components) == 1
+        assert 0 in result.components[0]
+
+    def test_serving_counters_flow(self):
+        engine = QueryEngine(GRAPHS["planted"], cache_size=8)
+        with obs.collecting() as collector:
+            engine.query_batch([(0, 2), (0, 2), (1, 2)])
+        assert collector.counter("serving.queries") == 3
+        assert collector.counter("serving.batches") == 1
+        assert collector.counter("serving.cache.hits") == 1
+        assert collector.counter("serving.cache.misses") == 2
+        assert collector.counter("serving.index.hits") == 2
+
+
+class TestCache:
+    def test_cached_answers_are_identical(self):
+        graph = GRAPHS["overlap"]
+        engine = QueryEngine(graph, cache_size=64)
+        first = engine.query(0, 3)
+        second = engine.query(0, 3)
+        assert second.source == "cache"
+        assert second.components == first.components
+
+    def test_capacity_zero_disables(self):
+        engine = QueryEngine(GRAPHS["planted"], cache_size=0)
+        engine.query(0, 2)
+        assert engine.query(0, 2).source == "index"
+
+    def test_lru_eviction_order(self):
+        with obs.collecting() as collector:
+            cache = LRUCache(2)
+            cache.put("a", (1,))
+            cache.put("b", (2,))
+            assert cache.get("a") == (1,)  # refreshes "a"
+            cache.put("c", (3,))  # evicts "b", the least recent
+            assert cache.get("b") is None
+            assert cache.get("a") == (1,)
+            assert cache.get("c") == (3,)
+        assert collector.counter("serving.cache.evictions") == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            LRUCache(-1)
+
+
+class TestDeadlines:
+    def _expiring_after(self, checks: int) -> Deadline:
+        ticks = iter(range(1000))
+
+        def clock() -> float:
+            return 0.0 if next(ticks) < checks else 100.0
+
+        return Deadline(1.0, clock=clock)
+
+    def test_batch_deadline_carries_completed_prefix(self):
+        engine = QueryEngine(GRAPHS["planted"])
+        engine.query(0, 2)  # pre-build the index
+        queries = [(v, 2) for v in range(6)]
+        # first expired() call is check #2 (construction consumes #1)
+        deadline = self._expiring_after(4)
+        with pytest.raises(BatchDeadlineExpired) as excinfo:
+            engine.query_batch(queries, deadline=deadline)
+        assert excinfo.value.total == 6
+        completed = excinfo.value.completed
+        assert 0 < len(completed) < 6
+        for result in completed:
+            assert result.k == 2
+
+    def test_unexpired_deadline_is_harmless(self):
+        engine = QueryEngine(GRAPHS["planted"])
+        results = engine.query_batch(
+            [(0, 2), (1, 2)], deadline=Deadline(1000)
+        )
+        assert len(results) == 2

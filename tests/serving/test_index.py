@@ -1,0 +1,180 @@
+"""KvccIndex: fingerprints, build, round-trip, staleness, versioning."""
+
+import json
+
+import pytest
+
+from repro.core.hierarchy import kvcc_hierarchy, membership_levels
+from repro.errors import ParameterError, ParseError
+from repro.graph import Graph
+from repro.graph.generators import (
+    community_graph,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+)
+from repro.serving import INDEX_SCHEMA, KvccIndex, graph_fingerprint
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_kvcc_graph(3, 18, 4, seed=2)
+
+
+class TestFingerprint:
+    def test_deterministic_across_insertion_orders(self):
+        a = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        b = Graph.from_edges([(3, 1), (2, 3), (2, 1)])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_sensitive_to_edges_and_isolated_vertices(self):
+        base = Graph.from_edges([(1, 2), (2, 3)])
+        extra_edge = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        extra_vertex = Graph.from_edges([(1, 2), (2, 3)], vertices=[9])
+        assert graph_fingerprint(base) != graph_fingerprint(extra_edge)
+        assert graph_fingerprint(base) != graph_fingerprint(extra_vertex)
+
+    def test_distinguishes_int_from_str_labels(self):
+        ints = Graph.from_edges([(1, 2)])
+        strs = Graph.from_edges([("1", "2")])
+        assert graph_fingerprint(ints) != graph_fingerprint(strs)
+
+    def test_rejects_unserialisable_labels(self):
+        g = Graph.from_edges([((1, 2), (3, 4))])
+        with pytest.raises(ParameterError):
+            graph_fingerprint(g)
+
+
+class TestBuild:
+    def test_levels_match_hierarchy_exactly(self, planted):
+        index = KvccIndex.build(planted)
+        assert index.levels == {
+            k: tuple(components)
+            for k, components in kvcc_hierarchy(planted).items()
+        }
+        assert index.complete
+        assert index.max_k is None
+
+    def test_capped_build_is_incomplete(self, planted):
+        index = KvccIndex.build(planted, max_k=2)
+        assert index.ceiling == 2
+        assert not index.complete
+        assert index.covers(2)
+        assert not index.covers(3)
+
+    def test_cap_beyond_exhaustion_is_complete(self, planted):
+        full = KvccIndex.build(planted)
+        index = KvccIndex.build(planted, max_k=full.ceiling + 5)
+        assert index.complete
+        assert index.covers(full.ceiling + 100)
+
+    def test_membership_levels_match_live(self, planted):
+        index = KvccIndex.build(planted)
+        assert index.membership_levels() == membership_levels(planted)
+
+    def test_containing_reports_overlaps(self):
+        # Two K5s sharing 2 vertices: the shared pair belongs to both
+        # 3-VCCs, everyone else to exactly one.
+        g = overlapping_cliques_graph(2, 5, overlap=2, seed=0)
+        index = KvccIndex.build(g)
+        shared = [v for v in g.vertices() if len(index.containing(v, 3)) == 2]
+        assert len(shared) == 2
+        solo = [v for v in g.vertices() if len(index.containing(v, 3)) == 1]
+        assert len(solo) == g.num_vertices - 2
+
+    def test_unknown_vertex_and_uncovered_k_raise(self, planted):
+        index = KvccIndex.build(planted, max_k=2)
+        with pytest.raises(ParameterError):
+            index.containing("nope", 2)
+        with pytest.raises(ParameterError):
+            index.containing(0, 3)
+        with pytest.raises(ParameterError):
+            index.covers(0)
+
+    def test_invalid_max_k_rejected(self, planted):
+        with pytest.raises(ParameterError):
+            KvccIndex.build(planted, max_k=0)
+
+
+class TestRoundTrip:
+    GRAPHS = {
+        "planted": planted_kvcc_graph(3, 18, 4, seed=2),
+        "community": community_graph([14, 12], k=3, seed=5),
+        "overlap": overlapping_cliques_graph(4, 6, overlap=2, seed=3),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_save_load_byte_identical(self, name, tmp_path):
+        graph = self.GRAPHS[name]
+        index = KvccIndex.build(graph)
+        path = tmp_path / f"{name}.idx.json"
+        index.save(path)
+        first = path.read_bytes()
+        reloaded = KvccIndex.load(path)
+        reloaded.save(path)
+        assert path.read_bytes() == first
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_reload_answers_identically(self, name, tmp_path):
+        graph = self.GRAPHS[name]
+        index = KvccIndex.build(graph)
+        path = tmp_path / f"{name}.idx.json"
+        index.save(path)
+        reloaded = KvccIndex.load(path)
+        assert reloaded.levels == index.levels
+        assert reloaded.vertices == index.vertices
+        assert reloaded.fingerprint == index.fingerprint
+        assert reloaded.complete == index.complete
+        for vertex in graph.vertices():
+            for k in range(1, index.ceiling + 1):
+                assert reloaded.containing(vertex, k) == index.containing(
+                    vertex, k
+                )
+
+    def test_not_stale_after_reload_but_stale_after_edit(
+        self, planted, tmp_path
+    ):
+        path = tmp_path / "planted.idx.json"
+        KvccIndex.build(planted).save(path)
+        index = KvccIndex.load(path)
+        assert not index.is_stale(planted)
+        edited = planted.copy()
+        u = next(iter(edited.vertices()))
+        v = next(w for w in edited.vertices() if not edited.has_edge(u, w)
+                 and w != u)
+        edited.add_edge(u, v)
+        assert index.is_stale(edited)
+
+
+class TestVersioning:
+    def test_unknown_schema_rejected(self, planted):
+        payload = json.loads(KvccIndex.build(planted).to_json())
+        payload["schema"] = "repro.kvcc-index/999"
+        with pytest.raises(ParseError):
+            KvccIndex.from_json(json.dumps(payload))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            KvccIndex.from_json("not json")
+        with pytest.raises(ParseError):
+            KvccIndex.from_json('{"schema": "repro.kvcc-index/1"}')
+
+    def test_inconsistent_counts_rejected(self, planted):
+        payload = json.loads(KvccIndex.build(planted).to_json())
+        payload["num_vertices"] = 3
+        with pytest.raises(ParseError):
+            KvccIndex.from_json(json.dumps(payload))
+
+    def test_component_outside_vertex_list_rejected(self, planted):
+        payload = json.loads(KvccIndex.build(planted).to_json())
+        payload["levels"]["2"][0].append("ghost")
+        with pytest.raises(ParseError):
+            KvccIndex.from_json(json.dumps(payload))
+
+    def test_ceiling_mismatch_rejected(self, planted):
+        payload = json.loads(KvccIndex.build(planted).to_json())
+        payload["ceiling"] = 99
+        with pytest.raises(ParseError):
+            KvccIndex.from_json(json.dumps(payload))
+
+    def test_schema_constant_is_versioned(self):
+        assert INDEX_SCHEMA.endswith("/1")

@@ -1,0 +1,125 @@
+"""The line-delimited JSON protocol: ops, errors, ids, deadlines."""
+
+import json
+
+import pytest
+
+from repro.graph.generators import planted_kvcc_graph
+from repro.resilience import Deadline
+from repro.serving import (
+    PROTOCOL,
+    KvccIndex,
+    QueryEngine,
+    handle_line,
+    handle_request,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = planted_kvcc_graph(2, 12, 3, seed=4)
+    return QueryEngine(graph, KvccIndex.build(graph))
+
+
+def _roundtrip(engine, doc):
+    response, keep_serving = handle_line(engine, json.dumps(doc))
+    return json.loads(response), keep_serving
+
+
+class TestOps:
+    def test_ping_reports_protocol(self, engine):
+        response, keep_serving = _roundtrip(engine, {"op": "ping"})
+        assert response == {"ok": True, "op": "ping", "protocol": PROTOCOL}
+        assert keep_serving
+
+    def test_query_sorted_components(self, engine):
+        response, _ = _roundtrip(engine, {"op": "query", "v": 0, "k": 3})
+        assert response["ok"] and response["op"] == "query"
+        assert response["count"] == len(response["components"]) == 1
+        members = response["components"][0]
+        assert members == sorted(members)
+        assert 0 in members
+        assert response["source"] in ("index", "cache")
+
+    def test_batch_preserves_order(self, engine):
+        response, _ = _roundtrip(
+            engine,
+            {
+                "op": "batch",
+                "queries": [{"v": 0, "k": 2}, {"v": 13, "k": 3}],
+            },
+        )
+        assert response["ok"] and response["count"] == 2
+        assert [r["v"] for r in response["results"]] == [0, 13]
+
+    def test_stats_describes_engine(self, engine):
+        response, _ = _roundtrip(engine, {"op": "stats"})
+        assert response["ok"]
+        assert response["stats"]["index"]["complete"] is True
+        assert response["stats"]["has_graph"] is True
+
+    def test_shutdown_stops_session(self, engine):
+        response, keep_serving = _roundtrip(engine, {"op": "shutdown"})
+        assert response["ok"]
+        assert not keep_serving
+
+    def test_id_echoed_verbatim(self, engine):
+        response, _ = _roundtrip(
+            engine, {"op": "ping", "id": "req-42"}
+        )
+        assert response["id"] == "req-42"
+        response, _ = _roundtrip(
+            engine, {"op": "query", "v": 0, "k": 99, "id": 7}
+        )
+        assert response["id"] == 7
+
+
+class TestErrors:
+    def test_malformed_json_is_parse_error(self, engine):
+        response, keep_serving = handle_line(engine, "{oops")
+        payload = json.loads(response)
+        assert payload["ok"] is False and payload["code"] == "parse"
+        assert keep_serving  # the session survives bad input
+
+    def test_non_object_request_is_parse_error(self, engine):
+        payload = json.loads(handle_line(engine, "[1, 2]")[0])
+        assert payload["code"] == "parse"
+
+    def test_blank_line_is_ignored(self, engine):
+        response, keep_serving = handle_line(engine, "   \n")
+        assert response == "" and keep_serving
+
+    def test_unsupported_op(self, engine):
+        response, _ = _roundtrip(engine, {"op": "evict"})
+        assert response["code"] == "unsupported-op"
+
+    def test_missing_fields_are_bad_requests(self, engine):
+        for doc in (
+            {"op": "query"},
+            {"op": "query", "v": 0},
+            {"op": "query", "v": 0, "k": "three"},
+            {"op": "query", "v": 0, "k": 0},
+            {"op": "query", "v": True, "k": 2},
+            {"op": "query", "v": [1], "k": 2},
+            {"op": "batch"},
+            {"op": "batch", "queries": "nope"},
+            {"op": "batch", "queries": [7]},
+        ):
+            response, _ = _roundtrip(engine, doc)
+            assert response["code"] == "bad-request", doc
+
+    def test_unknown_vertex_has_its_own_code(self, engine):
+        response, _ = _roundtrip(engine, {"op": "query", "v": 999, "k": 2})
+        assert response["code"] == "unknown-vertex"
+
+    def test_expired_deadline_returns_batch_prefix(self, engine):
+        expired = Deadline(0)
+        response, keep_serving = handle_request(
+            engine,
+            {"op": "batch", "queries": [{"v": 0, "k": 2}, {"v": 1, "k": 2}]},
+            deadline=expired,
+        )
+        assert response["ok"] is False and response["code"] == "deadline"
+        assert response["completed"] == 0 and response["total"] == 2
+        assert response["results"] == []
+        assert keep_serving

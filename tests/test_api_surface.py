@@ -16,6 +16,8 @@ PUBLIC_MODULES = [
     "repro.metrics",
     "repro.obs",
     "repro.parallel",
+    "repro.resilience",
+    "repro.serving",
 ]
 
 
@@ -46,6 +48,8 @@ def test_top_level_reexports_core_api():
         "verify_result",
         "accuracy_report",
         "parallel_ripple",
+        "KvccIndex",
+        "QueryEngine",
     ):
         assert hasattr(repro, symbol), symbol
 

@@ -95,6 +95,24 @@ class TestStats:
         assert main(["enumerate", edge_list, "-k", "3", "--quiet"]) == 0
         assert "repro.obs" not in capsys.readouterr().out
 
+    def test_stats_json_keeps_schema_on_empty_result(self, edge_list,
+                                                     tmp_path, capsys):
+        # Regression: a run that finds no components (k above anything
+        # the graph holds) must still write a well-formed repro.obs/1
+        # document — schema key, status, and empty counter maps.
+        import json
+
+        from repro.obs import SCHEMA, Collector
+
+        target = tmp_path / "empty.json"
+        assert main(["enumerate", edge_list, "-k", "9", "--quiet",
+                     "--stats-json", str(target)]) == 0
+        assert "0 9-VCC(s)" in capsys.readouterr().out
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == SCHEMA
+        assert payload["status"] == "completed"
+        Collector.from_json(target.read_text(encoding="utf-8"))  # parses
+
 
 class TestDatasets:
     def test_lists_all(self, capsys):
@@ -174,6 +192,97 @@ class TestGenerateCommand:
     def test_generate_unknown_dataset(self, tmp_path, capsys):
         assert main(["generate", "nope", "-o", str(tmp_path / "x")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestIndexCommand:
+    def test_build_then_inspect(self, edge_list, tmp_path, capsys):
+        index_path = str(tmp_path / "graph.idx.json")
+        assert main(["index", "build", edge_list, "-o", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "index saved to" in out and "complete" in out
+        assert main(["index", "inspect", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "repro.kvcc-index/1" in out
+        assert "Indexed levels" in out
+
+    def test_build_with_max_k_reports_cap(self, edge_list, tmp_path, capsys):
+        index_path = str(tmp_path / "graph.idx.json")
+        assert main(["index", "build", edge_list, "-o", index_path,
+                     "--max-k", "2"]) == 0
+        assert "capped at 2" in capsys.readouterr().out
+
+    def test_build_emits_serving_counters_in_stats_json(
+        self, edge_list, tmp_path, capsys
+    ):
+        import json
+
+        index_path = str(tmp_path / "graph.idx.json")
+        stats_path = tmp_path / "stats.json"
+        assert main(["--stats-json", str(stats_path), "index", "build",
+                     edge_list, "-o", index_path]) == 0
+        payload = json.loads(stats_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["counters"]["serving.index.builds"] == 1
+        assert payload["counters"]["serving.index.components"] > 0
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        assert main(["index", "inspect", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, argv, lines):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(argv)
+        captured = capsys.readouterr()
+        import json
+
+        return code, [json.loads(line) for line in
+                      captured.out.splitlines() if line], captured.err
+
+    def test_serve_stdio_with_index(self, edge_list, tmp_path, monkeypatch,
+                                    capsys):
+        index_path = str(tmp_path / "graph.idx.json")
+        assert main(["index", "build", edge_list, "-o", index_path]) == 0
+        capsys.readouterr()
+        code, responses, err = self._serve(
+            monkeypatch, capsys,
+            ["serve", "--index", index_path],
+            ['{"op":"query","v":0,"k":3}', '{"op":"shutdown"}'],
+        )
+        assert code == 0
+        assert responses[0]["ok"] and responses[0]["source"] == "index"
+        assert "2 request(s)" in err
+
+    def test_serve_missing_index_degrades_with_graph(
+        self, edge_list, tmp_path, monkeypatch, capsys
+    ):
+        code, responses, err = self._serve(
+            monkeypatch, capsys,
+            ["serve", "--graph", edge_list,
+             "--index", str(tmp_path / "nope.json")],
+            ['{"op":"query","v":0,"k":3}'],
+        )
+        assert code == 0
+        assert "build-on-first-use" in err
+        assert responses[0]["ok"]
+
+    def test_serve_missing_index_without_graph_errors(self, tmp_path,
+                                                      capsys):
+        assert main(["serve", "--index", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_needs_a_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "needs --graph" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_tcp_spec(self, edge_list, capsys):
+        assert main(["serve", "--graph", edge_list, "--tcp", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
 
 
 class TestSpanTracing:
