@@ -2,10 +2,20 @@
 
 Usage:
     python scripts/bench_compare.py [BASELINE] [--save-current FILE]
+    python scripts/bench_compare.py --load-table run_table.csv \
+        [--load-gate benchmarks/baselines/loadtest_gate.json]
 
 Exits 0 when every case stays within tolerance (wall +30%,
 calibration-adjusted; peak traced memory +20%), 1 on any regression
 (with a per-span delta table localising it), 2 on usage errors.
+
+``--load-table`` switches to the serving-capacity gate instead: every
+row of the load-test run table (see ``docs/loadtest.md``) is judged
+against the committed ``repro.loadgate/1`` thresholds — failure_rate
+within the cap (0 by default), p95 latency under a ceiling, achieved
+throughput over a floor. The same busy-loop calibration that
+normalises the perf gate rescales the thresholds per row, so a slow
+CI runner does not flake the gate.
 
 ``--inject-slowdown CASE:FACTOR`` multiplies one case's measured wall
 time before the comparison — a test hook proving the gate actually
@@ -29,6 +39,28 @@ DEFAULT_BASELINE = (
     / "baselines"
     / "smoke.json"
 )
+
+DEFAULT_LOAD_GATE = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "baselines"
+    / "loadtest_gate.json"
+)
+
+
+def _run_load_gate(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.loadtest.run_table import read_run_table
+
+    try:
+        gate = perfgate.load_gate_config(str(args.load_gate))
+        rows = read_run_table(args.load_table)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verdict = perfgate.compare_load_table(rows, gate)
+    print(perfgate.render_load_report(verdict))
+    return 0 if verdict["ok"] else 1
 
 
 def _parse_slowdown(spec: str) -> tuple[str, float]:
@@ -92,7 +124,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the per-span delta table even when the gate passes",
     )
+    parser.add_argument(
+        "--load-table",
+        type=Path,
+        metavar="CSV",
+        help="judge a load-test run_table.csv instead of re-measuring "
+        "the perf cases (see docs/loadtest.md)",
+    )
+    parser.add_argument(
+        "--load-gate",
+        type=Path,
+        default=DEFAULT_LOAD_GATE,
+        metavar="FILE",
+        help=f"load-gate thresholds (default {DEFAULT_LOAD_GATE})",
+    )
     args = parser.parse_args(argv)
+
+    if args.load_table is not None:
+        return _run_load_gate(args)
 
     try:
         baseline = perfgate.load_document(str(args.baseline))

@@ -35,6 +35,7 @@ from repro.bench.memory import measure_peak_memory
 from repro.obs.spans import span_totals
 
 __all__ = [
+    "LOAD_GATE_SCHEMA",
     "MEM_TOLERANCE",
     "SCHEMA",
     "WALL_TOLERANCE",
@@ -42,12 +43,17 @@ __all__ = [
     "builtin_cases",
     "calibrate",
     "compare",
+    "compare_load_table",
+    "load_gate_config",
+    "render_load_report",
     "render_report",
     "run_case",
     "run_suite",
 ]
 
 SCHEMA = "repro.perfgate/1"
+
+LOAD_GATE_SCHEMA = "repro.loadgate/1"
 
 #: Wall-clock regression tolerance (calibration-normalised).
 WALL_TOLERANCE = 0.30
@@ -282,6 +288,129 @@ def compare(
         "rows": rows,
         "span_rows": span_rows,
     }
+
+
+# -- load-test gate ----------------------------------------------------
+#
+# The serving tier's capacity gate: a committed ``repro.loadgate/1``
+# document fixes a p95-latency ceiling, a throughput floor, and a
+# failure-rate cap for one load-test scenario, *at the calibration
+# speed of the machine the thresholds were chosen on*. Every run-table
+# row carries the busy-loop calibration of the machine that produced
+# it, so the gate rescales before judging: a runner half as fast gets
+# twice the latency ceiling and half the throughput floor, and the
+# gate stops flaking on runner lotteries while still catching real
+# regressions.
+
+
+def load_gate_config(path: str) -> dict:
+    """Read and validate a committed load-gate document."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != LOAD_GATE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {LOAD_GATE_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    for key in ("calibration_s", "p95_ceiling_ms", "rps_floor"):
+        if not isinstance(document.get(key), (int, float)):
+            raise ValueError(f"{path}: missing or non-numeric {key!r}")
+    return document
+
+
+def compare_load_table(rows, gate: dict) -> dict:
+    """Judge run-table rows against a load-gate document.
+
+    ``rows`` are :class:`repro.loadtest.run_table.RunRow` objects (or
+    anything with the same attributes). Rows are filtered to the
+    gate's ``scenario`` when it names one; every surviving row must
+    individually satisfy the calibrated thresholds — one bad
+    repetition fails the gate, exactly like one bad case fails the
+    perf gate.
+    """
+    scenario = gate.get("scenario")
+    max_failure_rate = float(gate.get("max_failure_rate", 0.0))
+    judged = [
+        row
+        for row in rows
+        if scenario is None or row.scenario == scenario
+    ]
+    failures: list[str] = []
+    report_rows: list[list] = []
+    if not judged:
+        failures.append(
+            f"no run-table rows matched gate scenario {scenario!r}"
+        )
+    for row in judged:
+        label = f"{row.scenario}#{row.repetition}"
+        calibration = getattr(row, "calibration_s", float("nan"))
+        if not calibration or calibration != calibration:  # 0 or NaN
+            failures.append(
+                f"{label}: row carries no calibration_s; cannot "
+                f"normalise across machines"
+            )
+            continue
+        slowness = calibration / gate["calibration_s"]
+        allowed_p95 = gate["p95_ceiling_ms"] * slowness
+        required_rps = gate["rps_floor"] / slowness
+        verdict = "ok"
+        if row.failure_rate > max_failure_rate:
+            verdict = "FAILURES"
+            failures.append(
+                f"{label}: failure_rate {row.failure_rate:.4f} > "
+                f"{max_failure_rate:.4f} (deadline "
+                f"{row.failures_deadline}, protocol "
+                f"{row.failures_protocol}, connection "
+                f"{row.failures_connection})"
+            )
+        if row.p95_latency_ms > allowed_p95:
+            verdict = "P95" if verdict == "ok" else verdict + "+P95"
+            failures.append(
+                f"{label}: p95 {row.p95_latency_ms:.3f}ms > ceiling "
+                f"{allowed_p95:.3f}ms ({gate['p95_ceiling_ms']}ms at "
+                f"reference speed × {slowness:.2f} slowness)"
+            )
+        if row.achieved_rps < required_rps:
+            verdict = "RPS" if verdict == "ok" else verdict + "+RPS"
+            failures.append(
+                f"{label}: achieved {row.achieved_rps:.2f} rps < floor "
+                f"{required_rps:.2f} ({gate['rps_floor']} at reference "
+                f"speed ÷ {slowness:.2f} slowness)"
+            )
+        report_rows.append(
+            [
+                label,
+                f"{row.achieved_rps:.1f}/{required_rps:.1f}",
+                f"{row.p95_latency_ms:.2f}/{allowed_p95:.2f}",
+                f"{row.failure_rate:.4f}",
+                f"{slowness:.2f}x",
+                verdict,
+            ]
+        )
+    return {"ok": not failures, "failures": failures, "rows": report_rows}
+
+
+def render_load_report(verdict: dict) -> str:
+    """Human-readable load-gate report."""
+    from repro.bench.reporting import render_table
+
+    sections = [
+        render_table(
+            "Load gate: achieved/floor rps, p95/ceiling ms "
+            "(calibration-adjusted)",
+            ["run", "rps", "p95 ms", "fail rate", "slowness", "verdict"],
+            verdict["rows"],
+        )
+    ]
+    if verdict["failures"]:
+        sections.append(
+            "FAILURES:\n" + "\n".join(
+                f"  - {line}" for line in verdict["failures"]
+            )
+        )
+    else:
+        sections.append("load gate passed")
+    return "\n\n".join(sections)
 
 
 def render_report(verdict: dict, verbose_spans: bool = False) -> str:

@@ -12,7 +12,10 @@ Subcommands:
 * ``index build`` / ``index inspect`` — materialise the k-VCC
   hierarchy into a persistent query index / describe a saved one;
 * ``serve`` — answer QkVCS queries over line-delimited JSON (stdio or
-  TCP) from an index, with live fallback (see ``docs/serving.md``).
+  TCP) from an index, with live fallback (see ``docs/serving.md``);
+* ``loadtest`` — spawn a serve daemon and measure it under open-loop
+  concurrent traffic, writing ``run_table.csv`` + raw-sample JSONL
+  capacity artifacts (see ``docs/loadtest.md``).
 
 The top-level ``--stats`` flag (also accepted after ``enumerate``)
 runs the command under a live :mod:`repro.obs` collector and appends
@@ -32,6 +35,7 @@ execution, 130 interrupted (partial results were printed).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import tracemalloc
@@ -307,6 +311,83 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap for an index built on first use (default: exhaustive)",
     )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="open-loop load-test a spawned serve daemon and write "
+        "run_table.csv capacity artifacts (see docs/loadtest.md)",
+    )
+    loadtest.add_argument(
+        "path", help="edge-list file the spawned daemon serves"
+    )
+    loadtest.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="built-in scenario to run; repeatable (default: smoke)",
+    )
+    loadtest.add_argument(
+        "--output-dir",
+        default="loadtest-results",
+        help="directory for run_table.csv + samples.jsonl "
+        "(default loadtest-results)",
+    )
+    loadtest.add_argument(
+        "--topology",
+        help="topology label recorded in the run table "
+        "(default: the graph file's stem)",
+    )
+    loadtest.add_argument(
+        "--index",
+        help="prebuilt index file handed to the daemon "
+        "(default: build-on-first-use)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, metavar="RPS",
+        help="override the scenario's offered arrival rate",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, metavar="SECONDS",
+        help="override the scenario's total run length",
+    )
+    loadtest.add_argument(
+        "--warmup", type=float, metavar="SECONDS",
+        help="override the scenario's warmup window",
+    )
+    loadtest.add_argument(
+        "--workers", type=int,
+        help="override the scenario's client connection count",
+    )
+    loadtest.add_argument(
+        "--repetitions", type=int,
+        help="override the scenario's repetition count",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, help="override the scenario's schedule seed"
+    )
+    loadtest.add_argument(
+        "--arrival", choices=("poisson", "uniform"),
+        help="override the scenario's arrival process",
+    )
+    loadtest.add_argument(
+        "--max-k", type=int,
+        help="override the scenario's query-k ceiling",
+    )
+    loadtest.add_argument(
+        "--daemon-workers", type=int, default=4,
+        help="daemon-side concurrent request cap (default 4)",
+    )
+    loadtest.add_argument(
+        "--request-timeout", type=float, metavar="SECONDS",
+        help="per-request deadline inside the daemon",
+    )
+    loadtest.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="harness wall-clock budget: when it expires the run stops "
+        "at the next repetition boundary, completed rows are still "
+        "written, and the exit code is 3",
+    )
     return parser
 
 
@@ -561,43 +642,162 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         graph, index, cache_size=args.cache_size, max_k=args.max_k
     )
     settings = ServeSettings(
-        request_timeout=args.request_timeout, workers=args.workers
+        request_timeout=args.request_timeout,
+        workers=args.workers,
+        # The reload op re-reads the served file, so a load-test (or
+        # operator) can mutate the graph on disk and storm the stale
+        # detector without restarting the daemon.
+        reloader=(
+            (lambda: read_edge_list(args.graph, allow_self_loops=True))
+            if args.graph
+            else None
+        ),
     )
-    if args.tcp:
-        import threading
+    # The stats op reports serving.* counters; give the daemon a real
+    # collector even when the operator didn't pass --stats (which would
+    # have installed one around the whole command already).
+    scope = (
+        obs.collecting()
+        if isinstance(obs.get_collector(), obs.NullCollector)
+        else contextlib.nullcontext()
+    )
+    with scope:
+        if args.tcp:
+            import threading
 
-        host, _, port_text = args.tcp.rpartition(":")
-        try:
-            port = int(port_text)
-        except ValueError:
-            print(
-                f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
-                file=sys.stderr,
+            host, _, port_text = args.tcp.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(
+                    f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
+                    file=sys.stderr,
+                )
+                return EXIT_ERROR
+            handle = serve_tcp(
+                engine,
+                settings,
+                host=host or "127.0.0.1",
+                port=port,
+                background=True,
             )
-            return EXIT_ERROR
-        handle = serve_tcp(
-            engine,
-            settings,
-            host=host or "127.0.0.1",
-            port=port,
-            background=True,
+            bound_host, bound_port = handle.address
+            print(
+                f"ripple serve: listening on {bound_host}:{bound_port} "
+                f"(Ctrl-C to stop)",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                threading.Event().wait()
+            finally:
+                handle.stop()
+            return 0
+        served = serve_stdio(
+            engine, settings, in_stream=sys.stdin, out_stream=sys.stdout
         )
-        bound_host, bound_port = handle.address
-        print(
-            f"ripple serve: listening on {bound_host}:{bound_port} "
-            f"(Ctrl-C to stop)",
-            file=sys.stderr,
-        )
-        try:
-            threading.Event().wait()
-        finally:
-            handle.shutdown()
-        return 0
-    served = serve_stdio(
-        engine, settings, in_stream=sys.stdin, out_stream=sys.stdout
-    )
     print(f"ripple serve: session over, {served} request(s)", file=sys.stderr)
     return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
+    import os
+
+    from repro.bench.perfgate import calibrate
+    from repro.loadtest import (
+        get_scenario,
+        run_scenario,
+        write_run_table,
+        write_samples_jsonl,
+    )
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("offered_rps", args.rate),
+            ("duration_s", args.duration),
+            ("warmup_s", args.warmup),
+            ("workers", args.workers),
+            ("repetitions", args.repetitions),
+            ("seed", args.seed),
+            ("arrival", args.arrival),
+            ("max_k", args.max_k),
+        )
+        if value is not None
+    }
+    scenarios = [
+        get_scenario(name).with_overrides(**overrides)
+        for name in (args.scenarios or ["smoke"])
+    ]
+    os.makedirs(args.output_dir, exist_ok=True)
+    table_path = os.path.join(args.output_dir, "run_table.csv")
+    samples_path = os.path.join(args.output_dir, "samples.jsonl")
+    # Truncate a previous run's samples: the run table is rewritten
+    # whole, so the JSONL must match it.
+    open(samples_path, "w", encoding="utf-8").close()
+    deadline = Deadline(args.deadline) if args.deadline is not None else None
+    calibration_s = calibrate()
+    status = "completed"
+    rows = []
+    for scenario in scenarios:
+        print(
+            f"loadtest: scenario {scenario.name!r} — "
+            f"{scenario.offered_rps:g} rps offered ({scenario.arrival}), "
+            f"{scenario.duration_s:g}s × {scenario.repetitions} "
+            f"repetition(s), {scenario.workers} client worker(s)",
+            file=sys.stderr,
+        )
+        outcome = run_scenario(
+            scenario,
+            args.path,
+            topology=args.topology,
+            index_path=args.index,
+            daemon_workers=args.daemon_workers,
+            request_timeout=args.request_timeout,
+            calibration_s=calibration_s,
+            deadline=deadline,
+        )
+        rows.extend(outcome.rows)
+        for repetition, samples in sorted(outcome.samples.items()):
+            write_samples_jsonl(
+                samples_path, scenario.name, repetition, samples
+            )
+        if outcome.status != "completed":
+            status = outcome.status
+            print(
+                f"loadtest: harness deadline expired during "
+                f"{scenario.name!r}; stopping with "
+                f"{len(rows)} completed row(s)",
+                file=sys.stderr,
+            )
+            break
+    write_run_table(table_path, rows)
+    print(
+        reporting.render_table(
+            "Load test: one row per (scenario, repetition)",
+            ["run", "offered", "achieved", "p50 ms", "p95 ms", "p99 ms",
+             "fail", "cpu %"],
+            [
+                [
+                    f"{row.scenario}#{row.repetition}",
+                    f"{row.offered_rps:g}",
+                    f"{row.achieved_rps:.1f}",
+                    f"{row.p50_latency_ms:.2f}",
+                    f"{row.p95_latency_ms:.2f}",
+                    f"{row.p99_latency_ms:.2f}",
+                    f"{row.failure_rate:.4f}",
+                    "-"
+                    if row.cpu_usage_avg != row.cpu_usage_avg
+                    else f"{row.cpu_usage_avg:.1f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    print(f"run table saved to {table_path} ({len(rows)} rows)")
+    print(f"raw samples saved to {samples_path}")
+    runinfo["status"] = status
+    return _STATUS_EXIT_CODES.get(status, 0)
 
 
 def _load_stats_doc(path: str) -> obs.Collector:
@@ -701,6 +901,8 @@ def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
         return _cmd_index(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args, runinfo)
     return _cmd_bench(args)
 
 

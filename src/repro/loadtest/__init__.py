@@ -1,0 +1,63 @@
+"""Open-loop load testing and capacity measurement for ``ripple serve``.
+
+The serving tier (``docs/serving.md``) answers one query fast; this
+package measures what it does under *traffic* — concurrent clients,
+configurable arrival rates, mixed workloads, and mid-run graph
+mutations — and leaves behind a flat ``run_table.csv`` (one row per
+scenario×repetition: throughput, latency percentiles, failure
+taxonomy, daemon CPU/RSS, ``serving.*`` counter deltas) that CI gates
+row by row. See ``docs/loadtest.md`` for the run-table column glossary
+and open-loop semantics.
+
+Layers:
+
+* :mod:`repro.loadtest.scenario` — named, validated traffic shapes;
+* :mod:`repro.loadtest.workload` — the deterministic open-loop
+  schedule a scenario's seed expands into;
+* :mod:`repro.loadtest.client` — concurrent workers firing the
+  schedule, coordinated-omission-safe;
+* :mod:`repro.loadtest.monitor` — daemon CPU/RSS from ``/proc``;
+* :mod:`repro.loadtest.run_table` — the CSV/JSONL artifacts;
+* :mod:`repro.loadtest.harness` — daemon lifecycle + orchestration
+  (what ``ripple loadtest`` and ``scripts/bench_loadtest.py`` drive).
+"""
+
+from repro.loadtest.harness import (
+    DaemonProcess,
+    LoadTestError,
+    RunOutcome,
+    run_scenario,
+)
+from repro.loadtest.run_table import (
+    COLUMNS,
+    OUTCOMES,
+    RunRow,
+    Sample,
+    aggregate,
+    read_run_table,
+    write_run_table,
+    write_samples_jsonl,
+)
+from repro.loadtest.scenario import KINDS, SCENARIOS, Scenario, get_scenario
+from repro.loadtest.workload import Request, build_schedule
+
+__all__ = [
+    "COLUMNS",
+    "DaemonProcess",
+    "KINDS",
+    "LoadTestError",
+    "OUTCOMES",
+    "Request",
+    "RunOutcome",
+    "RunRow",
+    "SCENARIOS",
+    "Sample",
+    "Scenario",
+    "aggregate",
+    "build_schedule",
+    "get_scenario",
+    "read_run_table",
+    "run_scenario",
+    "write_run_table",
+    "write_samples_jsonl",
+]

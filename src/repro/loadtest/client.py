@@ -1,0 +1,246 @@
+"""Concurrent open-loop client workers for the ``repro.serve/1`` wire.
+
+Each worker owns one TCP connection and an interleaved slice of the
+precomputed schedule (request i belongs to worker ``i % workers``, so
+every worker sees the same arrival-rate share). A worker sleeps until
+each request's scheduled instant, fires, and measures latency **from
+the scheduled instant** — if the previous response was late and this
+send is delayed, the delay is charged to the server as queueing time
+rather than silently dropped (open-loop, coordinated-omission-safe).
+
+Failure taxonomy (one outcome per request, see
+:data:`repro.loadtest.run_table.OUTCOMES`):
+
+* ``ok`` — the response matched the request's expectation (including
+  expected error codes from ``unknown`` probes);
+* ``deadline`` — the daemon answered with an unexpected ``deadline``
+  code, or the client's own read timed out;
+* ``protocol-error`` — an unexpected error code, an un-decodable
+  response, or a success where an error was expected;
+* ``connection-refused`` — the connection could not be made or died
+  mid-request (refused, reset, broken pipe).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.loadtest.run_table import Sample
+from repro.loadtest.scenario import Scenario
+from repro.loadtest.workload import Request
+from repro.resilience import Deadline
+
+__all__ = ["drive", "request_once"]
+
+#: Client-side read budget: generous, so only a genuinely wedged
+#: daemon trips it (the per-request serving deadline is the real gate).
+CLIENT_TIMEOUT_S = 30.0
+
+
+def _classify(request: Request, line: str) -> Sample:
+    """Judge one response line against the request's expectation."""
+
+    def sample(outcome: str, code: str, latency_ms: float = 0.0) -> Sample:
+        return Sample(
+            kind=request.kind,
+            scheduled_s=request.offset_s,
+            latency_ms=latency_ms,
+            outcome=outcome,
+            code=code,
+        )
+
+    try:
+        response = json.loads(line)
+    except ValueError:
+        return sample("protocol-error", "undecodable")
+    code = response.get("code", "")
+    if request.expect == "ok":
+        if response.get("ok"):
+            return sample("ok", "")
+        if code == "deadline":
+            return sample("deadline", code)
+        return sample("protocol-error", code or "error")
+    # An error was expected: the exact code is the success condition.
+    if code == request.expect:
+        return sample("ok", code)
+    return sample("protocol-error", code or "unexpected-success")
+
+
+class _Connection:
+    """One lazily-(re)connected line-protocol client socket."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self._sock: socket.socket | None = None
+        self._stream = None
+
+    def ensure(self):
+        if self._stream is None:
+            self._sock = socket.create_connection(
+                self.address, timeout=CLIENT_TIMEOUT_S
+            )
+            self._stream = self._sock.makefile(
+                "rw", encoding="utf-8", newline="\n"
+            )
+        return self._stream
+
+    def drop(self) -> None:
+        for closer in (self._stream, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._stream = None
+
+    def close(self) -> None:
+        self.drop()
+
+
+def request_once(
+    connection: _Connection, request: Request, scheduled_at: float
+) -> Sample:
+    """Send one request and classify the outcome (latency from the
+    scheduled instant, not the actual send)."""
+    try:
+        stream = connection.ensure()
+        stream.write(
+            json.dumps(request.payload, separators=(",", ":")) + "\n"
+        )
+        stream.flush()
+        line = stream.readline()
+    except socket.timeout:
+        connection.drop()
+        return Sample(
+            kind=request.kind,
+            scheduled_s=request.offset_s,
+            latency_ms=(time.monotonic() - scheduled_at) * 1000.0,
+            outcome="deadline",
+            code="client-timeout",
+        )
+    except OSError as exc:
+        connection.drop()
+        return Sample(
+            kind=request.kind,
+            scheduled_s=request.offset_s,
+            latency_ms=(time.monotonic() - scheduled_at) * 1000.0,
+            outcome="connection-refused",
+            code=type(exc).__name__,
+        )
+    latency_ms = (time.monotonic() - scheduled_at) * 1000.0
+    if not line:
+        # EOF mid-session: the daemon hung up on us.
+        connection.drop()
+        return Sample(
+            kind=request.kind,
+            scheduled_s=request.offset_s,
+            latency_ms=latency_ms,
+            outcome="connection-refused",
+            code="eof",
+        )
+    judged = _classify(request, line)
+    return Sample(
+        kind=judged.kind,
+        scheduled_s=judged.scheduled_s,
+        latency_ms=latency_ms,
+        outcome=judged.outcome,
+        code=judged.code,
+    )
+
+
+def _worker(
+    address: tuple[str, int],
+    slice_: list[Request],
+    start: float,
+    warmup_s: float,
+    graph_path: str | None,
+    mutate_lock: threading.Lock,
+    deadline: Deadline | None,
+    out: list[Sample],
+) -> None:
+    connection = _Connection(address)
+    try:
+        for request in slice_:
+            if deadline is not None and deadline.expired():
+                return
+            scheduled_at = start + request.offset_s
+            delay = scheduled_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if request.mutate_append and graph_path:
+                # Storm event: grow the graph on disk, then tell the
+                # daemon to reload. The lock serialises appends from
+                # concurrent workers; each append is one whole line.
+                with mutate_lock:
+                    with open(graph_path, "a", encoding="utf-8") as handle:
+                        handle.write(request.mutate_append + "\n")
+            sample = request_once(connection, request, scheduled_at)
+            if request.offset_s < warmup_s:
+                sample = Sample(
+                    kind=sample.kind,
+                    scheduled_s=sample.scheduled_s,
+                    latency_ms=sample.latency_ms,
+                    outcome=sample.outcome,
+                    code=sample.code,
+                    warmup=True,
+                )
+            out.append(sample)
+    finally:
+        connection.close()
+
+
+def drive(
+    address: tuple[str, int],
+    schedule: list[Request],
+    scenario: Scenario,
+    *,
+    graph_path: str | None = None,
+    deadline: Deadline | None = None,
+) -> tuple[list[Sample], float]:
+    """Run one repetition's schedule; returns ``(samples, start)``.
+
+    ``start`` is the monotonic instant offset 0 maps to (resource
+    windows are computed against it). Samples come back in schedule
+    order. A harness :class:`~repro.resilience.Deadline` makes workers
+    stop scheduling cooperatively; already-sent requests still land.
+    """
+    workers = max(1, scenario.workers)
+    slices: list[list[Request]] = [[] for _ in range(workers)]
+    for i, request in enumerate(schedule):
+        slices[i % workers].append(request)
+    outputs: list[list[Sample]] = [[] for _ in range(workers)]
+    mutate_lock = threading.Lock()
+    # A small lead so every worker is parked on its first sleep before
+    # offset 0 arrives.
+    start = time.monotonic() + 0.05
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(
+                address,
+                slices[w],
+                start,
+                scenario.warmup_s,
+                graph_path,
+                mutate_lock,
+                deadline,
+                outputs[w],
+            ),
+            name=f"loadtest-worker-{w}",
+            daemon=True,
+        )
+        for w in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    join_budget = scenario.duration_s + CLIENT_TIMEOUT_S + 10.0
+    join_by = time.monotonic() + join_budget
+    for thread in threads:
+        thread.join(timeout=max(0.0, join_by - time.monotonic()))
+    samples = [s for out in outputs for s in out]
+    samples.sort(key=lambda s: s.scheduled_s)
+    return samples, start

@@ -1,0 +1,316 @@
+"""The capacity harness: spawn the daemon, drive it, write the table.
+
+One :func:`run_scenario` call is one run: per repetition it
+
+1. restores the served graph file (storm mutations must not leak
+   across repetitions), spawns a fresh ``ripple serve --tcp`` daemon
+   subprocess, and waits for its "listening on" line to learn the
+   ephemeral port;
+2. snapshots the daemon's ``serving.*`` counters (``stats`` op),
+   starts the ``/proc`` resource monitor, and fires the scenario's
+   precomputed open-loop schedule at it;
+3. snapshots counters again, folds samples + counter deltas + CPU/RSS
+   into one :class:`~repro.loadtest.run_table.RunRow`, and appends the
+   raw samples to the run's JSONL;
+4. tears the daemon down — cooperatively on a clean run, immediately
+   when the harness :class:`~repro.resilience.Deadline` expires.
+
+Repetition r reseeds the scenario with ``seed + r`` so repetitions are
+independent draws of the same traffic shape, yet every rerun of the
+harness reproduces them exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list
+from repro.loadtest import client as loadclient
+from repro.loadtest.monitor import ResourceMonitor
+from repro.loadtest.run_table import RunRow, Sample, aggregate
+from repro.loadtest.scenario import Scenario
+from repro.loadtest.workload import build_schedule
+from repro.resilience import Deadline
+
+__all__ = ["DaemonProcess", "LoadTestError", "RunOutcome", "run_scenario"]
+
+_LISTENING = re.compile(r"listening on ([0-9.]+):(\d+)")
+
+
+class LoadTestError(ReproError):
+    """The harness could not complete a run (daemon died, no port, …)."""
+
+
+class DaemonProcess:
+    """A managed ``ripple serve --tcp`` subprocess.
+
+    The daemon binds an ephemeral port (``--tcp 127.0.0.1:0``) and
+    announces it on stderr; :meth:`start` parses that line. stderr is
+    drained continuously afterwards (a full pipe would wedge the
+    daemon) and kept for diagnostics.
+    """
+
+    def __init__(
+        self,
+        graph_path: str | os.PathLike,
+        *,
+        index_path: str | os.PathLike | None = None,
+        workers: int = 4,
+        request_timeout: float | None = None,
+        cache_size: int = 1024,
+        max_k: int | None = None,
+    ) -> None:
+        self.graph_path = os.fspath(graph_path)
+        self.index_path = (
+            os.fspath(index_path) if index_path is not None else None
+        )
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self.cache_size = cache_size
+        self.max_k = max_k
+        self.address: tuple[str, int] | None = None
+        self.stderr_lines: list[str] = []
+        self._process: subprocess.Popen | None = None
+        self._drain: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid if self._process is not None else None
+
+    def _command(self) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--graph",
+            self.graph_path,
+            "--tcp",
+            "127.0.0.1:0",
+            "--workers",
+            str(self.workers),
+            "--cache-size",
+            str(self.cache_size),
+        ]
+        if self.index_path is not None:
+            command += ["--index", self.index_path]
+        if self.request_timeout is not None:
+            command += ["--request-timeout", str(self.request_timeout)]
+        if self.max_k is not None:
+            command += ["--max-k", str(self.max_k)]
+        return command
+
+    def start(self, timeout_s: float = 30.0) -> tuple[str, int]:
+        """Spawn and block until the daemon announces its port."""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        self._process = subprocess.Popen(
+            self._command(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        # One thread drains stderr for the daemon's whole life (a full
+        # pipe would wedge it) and flags the announce line when it
+        # scrolls past — so a daemon that dies or hangs before binding
+        # can't block start() beyond the timeout.
+        self._drain = threading.Thread(
+            target=self._drain_stderr, name="loadtest-daemon-stderr",
+            daemon=True,
+        )
+        self._drain.start()
+        if not self._ready.wait(timeout=timeout_s) or self.address is None:
+            self.stop()
+            raise LoadTestError(
+                "daemon never announced a listening address; stderr: "
+                + " | ".join(self.stderr_lines[-5:])
+            )
+        return self.address
+
+    def _drain_stderr(self) -> None:
+        assert self._process is not None and self._process.stderr is not None
+        for line in self._process.stderr:
+            self.stderr_lines.append(line.rstrip("\n"))
+            if self.address is None:
+                match = _LISTENING.search(line)
+                if match:
+                    self.address = (match.group(1), int(match.group(2)))
+                    self._ready.set()
+        self._ready.set()  # EOF: unblock start() even without a match
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Terminate (SIGTERM, then SIGKILL past the grace period)."""
+        if self._process is None:
+            return
+        if self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=grace_s)
+        if self._drain is not None:
+            self._drain.join(timeout=2)
+        if self._process.stderr is not None:
+            self._process.stderr.close()
+
+    def __enter__(self) -> "DaemonProcess":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def ask(address: tuple[str, int], payload: dict, timeout_s: float = 10.0):
+    """One request, one response, over a throwaway connection."""
+    with socket.create_connection(address, timeout=timeout_s) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+
+def _serving_counters(address: tuple[str, int]) -> dict:
+    response = ask(address, {"op": "stats"})
+    return response.get("counters", {}) or {}
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    return {
+        name: after.get(name, 0) - before.get(name, 0)
+        for name in set(before) | set(after)
+    }
+
+
+@dataclass
+class RunOutcome:
+    """Everything one scenario run produced."""
+
+    rows: list[RunRow] = field(default_factory=list)
+    samples: dict[int, list[Sample]] = field(default_factory=dict)
+    #: ``completed`` or ``deadline`` (harness budget ran out mid-run).
+    status: str = "completed"
+
+
+def run_scenario(
+    scenario: Scenario,
+    graph_path: str | os.PathLike,
+    *,
+    topology: str | None = None,
+    index_path: str | os.PathLike | None = None,
+    daemon_workers: int = 4,
+    request_timeout: float | None = None,
+    calibration_s: float | None = None,
+    deadline: Deadline | None = None,
+    address: tuple[str, int] | None = None,
+    monitor_pid: int | None = None,
+) -> RunOutcome:
+    """Run every repetition of one scenario; returns rows + raw samples.
+
+    By default each repetition gets a **fresh daemon subprocess** (no
+    cross-repetition cache warmth, no leaked storm mutations — the
+    graph file is restored between repetitions). Passing ``address``
+    instead drives an already-running daemon (tests, remote targets);
+    pair it with ``monitor_pid`` to keep CPU/RSS columns (use
+    ``os.getpid()`` for an in-process ``serve_tcp``).
+    """
+    graph_path = os.fspath(graph_path)
+    if calibration_s is None:
+        from repro.bench.perfgate import calibrate
+
+        calibration_s = calibrate()
+    topology = topology or Path(graph_path).stem
+    vertices = sorted(
+        read_edge_list(graph_path, allow_self_loops=True).vertices(),
+        key=lambda v: (str(type(v)), str(v)),
+    )
+    pristine = Path(graph_path).read_bytes()
+    outcome = RunOutcome()
+    for repetition in range(1, scenario.repetitions + 1):
+        if deadline is not None and deadline.expired():
+            outcome.status = "deadline"
+            break
+        Path(graph_path).write_bytes(pristine)  # undo storm mutations
+        reseeded = scenario.with_overrides(
+            seed=scenario.seed + repetition - 1
+        )
+        schedule = build_schedule(reseeded, vertices)
+        daemon: DaemonProcess | None = None
+        try:
+            if address is None:
+                daemon = DaemonProcess(
+                    graph_path,
+                    index_path=index_path,
+                    workers=daemon_workers,
+                    request_timeout=request_timeout,
+                    max_k=scenario.max_k,
+                )
+                target = daemon.start()
+                pid = daemon.pid
+            else:
+                target = address
+                pid = monitor_pid
+            counters_before = _serving_counters(target)
+            monitor = (
+                ResourceMonitor(pid).start() if pid is not None else None
+            )
+            samples, start = loadclient.drive(
+                target,
+                schedule,
+                reseeded,
+                graph_path=graph_path,
+                deadline=deadline,
+            )
+            if monitor is not None:
+                monitor.stop()
+            counters_after = _serving_counters(target)
+            cpu, rss = (
+                monitor.summary(
+                    start + reseeded.warmup_s,
+                    start + reseeded.duration_s,
+                )
+                if monitor is not None
+                else (float("nan"), float("nan"))
+            )
+            outcome.rows.append(
+                aggregate(
+                    scenario=scenario.name,
+                    repetition=repetition,
+                    topology=topology,
+                    workers=reseeded.workers,
+                    offered_rps=reseeded.offered_rps,
+                    samples=samples,
+                    measure_window_s=reseeded.measure_window_s,
+                    cpu_usage_avg=cpu,
+                    rss_peak_mb=rss,
+                    calibration_s=calibration_s,
+                    counters=_counter_delta(
+                        counters_before, counters_after
+                    ),
+                )
+            )
+            outcome.samples[repetition] = samples
+        finally:
+            if daemon is not None:
+                daemon.stop()
+            Path(graph_path).write_bytes(pristine)
+        if deadline is not None and deadline.expired():
+            outcome.status = "deadline"
+            break
+    return outcome

@@ -1,0 +1,139 @@
+"""Daemon resource monitoring: CPU and RSS sampled from ``/proc``.
+
+The run table's ``cpu_usage_avg`` / ``rss_peak_mb`` columns come from
+polling the *daemon* process (not the client) while the load runs —
+the capacity question is what the server burns to sustain the offered
+rate. Sampling reads ``/proc/<pid>/stat`` (utime+stime ticks) and
+``/proc/<pid>/status`` (``VmRSS``), so it works on any pid we own —
+the spawned daemon subprocess, or this very process when the target is
+an in-process ``serve_tcp`` (tests). No psutil dependency.
+
+On platforms without ``/proc`` (macOS) the monitor degrades to "no
+samples": the summary is NaN and the CSV cells stay empty rather than
+wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ResourceMonitor", "ResourceSample", "proc_available"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One poll: monotonic instant, cumulative CPU seconds, RSS MiB."""
+
+    t: float
+    cpu_s: float
+    rss_mb: float
+
+
+def proc_available(pid: int) -> bool:
+    """Whether ``/proc/<pid>`` exposes what the monitor reads."""
+    return os.path.exists(f"/proc/{pid}/stat")
+
+
+def _read_cpu_seconds(pid: int, tick: float) -> float:
+    with open(f"/proc/{pid}/stat", encoding="ascii") as handle:
+        stat = handle.read()
+    # The comm field may contain spaces/parens; fields are positional
+    # only after the last ')'. utime and stime are fields 14 and 15
+    # (1-indexed), i.e. positions 11 and 12 after the comm.
+    after = stat.rsplit(")", 1)[1].split()
+    return (int(after[11]) + int(after[12])) * tick
+
+
+def _read_rss_mb(pid: int) -> float:
+    with open(f"/proc/{pid}/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) / 1024.0  # kB -> MiB
+    return float("nan")
+
+
+class ResourceMonitor:
+    """Polls one pid on a background thread until stopped.
+
+    Usage::
+
+        monitor = ResourceMonitor(daemon.pid)
+        monitor.start()
+        ...drive the load...
+        monitor.stop()
+        cpu_pct, rss_mb = monitor.summary(window_start, window_end)
+    """
+
+    def __init__(self, pid: int, interval_s: float = 0.05) -> None:
+        self.pid = pid
+        self.interval_s = interval_s
+        self.samples: list[ResourceSample] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._tick = 1.0 / os.sysconf("SC_CLK_TCK") if hasattr(
+            os, "sysconf"
+        ) else 0.01
+
+    @property
+    def available(self) -> bool:
+        return proc_available(self.pid)
+
+    def start(self) -> "ResourceMonitor":
+        if not self.available:
+            return self
+        self._thread = threading.Thread(
+            target=self._poll, name="loadtest-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _poll(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.samples.append(
+                    ResourceSample(
+                        time.monotonic(),
+                        _read_cpu_seconds(self.pid, self._tick),
+                        _read_rss_mb(self.pid),
+                    )
+                )
+            except (OSError, IndexError, ValueError):
+                return  # the process exited; keep what we have
+            self._stop.wait(self.interval_s)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def summary(
+        self, window_start: float, window_end: float
+    ) -> tuple[float, float]:
+        """``(cpu_usage_avg_percent, rss_peak_mb)`` over a monotonic
+        window — NaN/NaN when fewer than two samples landed in it."""
+        window = [
+            s for s in self.samples if window_start <= s.t <= window_end
+        ]
+        if len(window) < 2:
+            return float("nan"), float("nan")
+        elapsed = window[-1].t - window[0].t
+        cpu = (
+            (window[-1].cpu_s - window[0].cpu_s) / elapsed * 100.0
+            if elapsed > 0
+            else float("nan")
+        )
+        return cpu, max(s.rss_mb for s in window)
+
+    def to_json(self) -> list[dict]:
+        """Raw samples for the per-run JSONL (relative-time free)."""
+        return [
+            {
+                "t": round(s.t, 6),
+                "cpu_s": round(s.cpu_s, 6),
+                "rss_mb": round(s.rss_mb, 3),
+            }
+            for s in self.samples
+        ]

@@ -1,0 +1,312 @@
+"""The run table: one flat, analyzable CSV row per (scenario, repetition).
+
+The artifact shape follows the mubench replication's ``run_table.csv``
+(one row per run×repetition, every column a plain scalar, all analysis
+downstream of this one file) — see ``docs/loadtest.md`` for the column
+glossary in the ``RUN_TABLE_COLUMNS_EXPLANATION.md`` style. The test
+suite parses that glossary table and asserts it matches
+:data:`COLUMNS` exactly, so the docs cannot drift from the writer.
+
+Alongside the table, every run appends its raw per-request samples to
+a JSONL file (one object per request: kind, scheduled offset, latency,
+outcome) so percentiles can be recomputed and tails inspected without
+re-running the load.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "COLUMNS",
+    "OUTCOMES",
+    "RunRow",
+    "Sample",
+    "aggregate",
+    "percentile",
+    "read_run_table",
+    "write_run_table",
+    "write_samples_jsonl",
+]
+
+#: Failure taxonomy: every sample lands in exactly one outcome.
+#: ``ok`` includes *expected* error responses (an ``unknown`` probe
+#: answered with ``unknown-vertex`` is the daemon behaving correctly).
+OUTCOMES = ("ok", "deadline", "protocol-error", "connection-refused")
+
+#: Column names, in file order. ``docs/loadtest.md`` documents each
+#: one; ``tests/loadtest/test_run_table.py`` keeps the two in lockstep.
+COLUMNS = (
+    "scenario",
+    "repetition",
+    "topology",
+    "workers",
+    "offered_rps",
+    "achieved_rps",
+    "request_count",
+    "failure_rate",
+    "failures_deadline",
+    "failures_protocol",
+    "failures_connection",
+    "avg_latency_ms",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "p99_latency_ms",
+    "cpu_usage_avg",
+    "rss_peak_mb",
+    "calibration_s",
+    "serving_requests",
+    "serving_queries",
+    "serving_cache_hits",
+    "serving_cache_misses",
+    "serving_index_stale_rebuilds",
+    "serving_errors",
+)
+
+#: run-table counter column -> obs counter folded into it.
+COUNTER_COLUMNS = {
+    "serving_requests": "serving.requests",
+    "serving_queries": "serving.queries",
+    "serving_cache_hits": "serving.cache.hits",
+    "serving_cache_misses": "serving.cache.misses",
+    "serving_index_stale_rebuilds": "serving.index.stale_rebuilds",
+    "serving_errors": "serving.errors",
+}
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One request's raw measurement (a JSONL line in the samples file).
+
+    ``scheduled_s`` is the open-loop send time relative to run start;
+    latency is measured from that *scheduled* instant, not from the
+    actual send, so a generator running late charges its queueing delay
+    to the service instead of silently omitting it (the classic
+    coordinated-omission mistake closed-loop harnesses make).
+    """
+
+    kind: str
+    scheduled_s: float
+    latency_ms: float
+    outcome: str
+    code: str = ""
+    warmup: bool = False
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ParameterError(
+                f"sample outcome must be one of {OUTCOMES}, "
+                f"got {self.outcome!r}"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "scheduled_s": round(self.scheduled_s, 6),
+            "latency_ms": round(self.latency_ms, 3),
+            "outcome": self.outcome,
+            "code": self.code,
+            "warmup": self.warmup,
+        }
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One (scenario, repetition) line of ``run_table.csv``."""
+
+    scenario: str
+    repetition: int
+    topology: str
+    workers: int
+    offered_rps: float
+    achieved_rps: float
+    request_count: int
+    failure_rate: float
+    failures_deadline: int
+    failures_protocol: int
+    failures_connection: int
+    avg_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    cpu_usage_avg: float
+    rss_peak_mb: float
+    calibration_s: float
+    serving_requests: int
+    serving_queries: int
+    serving_cache_hits: int
+    serving_cache_misses: int
+    serving_index_stale_rebuilds: int
+    serving_errors: int
+
+# Fixed per-column formatting keeps the CSV byte-stable for identical
+# inputs: rates and seconds at 6 decimals, latencies at 3 (µs grain),
+# resource figures at 2. NaN (resource monitor unavailable on this
+# platform) serialises as an empty cell.
+_PRECISION = {
+    "offered_rps": 6,
+    "achieved_rps": 6,
+    "failure_rate": 6,
+    "calibration_s": 6,
+    "avg_latency_ms": 3,
+    "p50_latency_ms": 3,
+    "p95_latency_ms": 3,
+    "p99_latency_ms": 3,
+    "cpu_usage_avg": 2,
+    "rss_peak_mb": 2,
+}
+
+
+def _row_fields() -> dict:
+    return {field.name: field.type for field in fields(RunRow)}
+
+
+def write_run_table(path: str | os.PathLike, rows: Iterable[RunRow]) -> None:
+    """Write header + rows; column order is exactly :data:`COLUMNS`."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(COLUMNS)
+        for row in rows:
+            cells = []
+            for name in COLUMNS:
+                value = getattr(row, name)
+                if name in _FLOAT_COLUMNS:
+                    if math.isnan(value):
+                        cells.append("")
+                    else:
+                        cells.append(f"{value:.{_PRECISION.get(name, 6)}f}")
+                else:
+                    cells.append(str(value))
+            writer.writerow(cells)
+
+
+def read_run_table(path: str | os.PathLike) -> list[RunRow]:
+    """Read a run table back into typed rows (the gate's input)."""
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        header = tuple(reader.fieldnames or ())
+        if header != COLUMNS:
+            raise ParameterError(
+                f"{os.fspath(path)}: unexpected run-table header "
+                f"{header!r} (expected {COLUMNS!r})"
+            )
+        rows = []
+        for record in reader:
+            kwargs = {}
+            for name in COLUMNS:
+                raw = record[name]
+                if name in _INT_COLUMNS:
+                    kwargs[name] = int(raw)
+                elif name in _FLOAT_COLUMNS:
+                    kwargs[name] = float(raw) if raw else float("nan")
+                else:
+                    kwargs[name] = raw
+            rows.append(RunRow(**kwargs))
+        return rows
+
+
+_INT_COLUMNS = frozenset(
+    name
+    for name, kind in _row_fields().items()
+    if kind in (int, "int")
+)
+_FLOAT_COLUMNS = frozenset(
+    name
+    for name, kind in _row_fields().items()
+    if kind in (float, "float")
+)
+
+
+def write_samples_jsonl(
+    path: str | os.PathLike,
+    scenario: str,
+    repetition: int,
+    samples: Iterable[Sample],
+) -> None:
+    """Append one JSON object per raw sample (warmup included)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        for sample in samples:
+            record = {"scenario": scenario, "repetition": repetition}
+            record.update(sample.to_json())
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (0 < q <= 1)."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def aggregate(
+    *,
+    scenario: str,
+    repetition: int,
+    topology: str,
+    workers: int,
+    offered_rps: float,
+    samples: list[Sample],
+    measure_window_s: float,
+    cpu_usage_avg: float = float("nan"),
+    rss_peak_mb: float = float("nan"),
+    calibration_s: float = float("nan"),
+    counters: dict | None = None,
+) -> RunRow:
+    """Fold one repetition's raw samples into a run-table row.
+
+    Warmup samples are excluded from every aggregate (they exist only
+    in the raw JSONL). ``counters`` is the delta of the daemon's
+    ``serving.*`` obs counters over the measurement window (from the
+    protocol's ``stats`` op before/after).
+    """
+    measured = [s for s in samples if not s.warmup]
+    failures = {
+        "deadline": 0,
+        "protocol-error": 0,
+        "connection-refused": 0,
+    }
+    latencies = []
+    for sample in measured:
+        if sample.outcome == "ok":
+            latencies.append(sample.latency_ms)
+        else:
+            failures[sample.outcome] += 1
+    latencies.sort()
+    count = len(measured)
+    failed = sum(failures.values())
+    window = max(measure_window_s, 1e-9)
+    counters = counters or {}
+    return RunRow(
+        scenario=scenario,
+        repetition=repetition,
+        topology=topology,
+        workers=workers,
+        offered_rps=offered_rps,
+        achieved_rps=len(latencies) / window,
+        request_count=count,
+        failure_rate=(failed / count) if count else 0.0,
+        failures_deadline=failures["deadline"],
+        failures_protocol=failures["protocol-error"],
+        failures_connection=failures["connection-refused"],
+        avg_latency_ms=(
+            sum(latencies) / len(latencies) if latencies else float("nan")
+        ),
+        p50_latency_ms=percentile(latencies, 0.50),
+        p95_latency_ms=percentile(latencies, 0.95),
+        p99_latency_ms=percentile(latencies, 0.99),
+        cpu_usage_avg=cpu_usage_avg,
+        rss_peak_mb=rss_peak_mb,
+        calibration_s=calibration_s,
+        **{
+            column: int(counters.get(counter, 0))
+            for column, counter in COUNTER_COLUMNS.items()
+        },
+    )

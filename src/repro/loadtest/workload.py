@@ -1,0 +1,153 @@
+"""Deterministic open-loop schedules: when to send what, fixed up front.
+
+The whole request stream — arrival instants, request kinds, payloads,
+expected responses, and storm mutations — is materialised *before* the
+run from the scenario's seed. Workers then race the wall clock to honor
+it. Precomputing the schedule is what makes the harness open-loop: the
+k-th request is due at its scheduled instant whether or not request
+k-1 has been answered, so a slow server accumulates visible queueing
+delay instead of silently throttling the generator (coordinated
+omission). It is also what makes runs reproducible and the run-table
+row testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.errors import ParameterError
+from repro.loadtest.scenario import Scenario
+
+__all__ = ["Request", "build_schedule"]
+
+#: Vertex-id offset for storm-appended pendant vertices: far above any
+#: real benchmark graph, so mutations never collide with served ids.
+STORM_VERTEX_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled protocol request.
+
+    ``expect`` is the outcome the scenario *intends*: ``"ok"`` or an
+    error code (the ``unknown`` kind expects ``unknown-vertex``). A
+    response matching its expectation is a success for the run table;
+    anything else is a failure classified by the taxonomy in
+    :mod:`repro.loadtest.run_table`. ``mutate_append`` is a line the
+    client appends to the served graph file immediately before sending
+    (storm events only).
+    """
+
+    offset_s: float
+    kind: str
+    payload: dict
+    expect: str = "ok"
+    mutate_append: str | None = None
+
+
+def _arrivals(scenario: Scenario, rng: random.Random) -> list[float]:
+    """Arrival offsets over [0, duration): exponential or fixed gaps."""
+    offsets: list[float] = []
+    mean_gap = 1.0 / scenario.offered_rps
+    t = 0.0
+    while True:
+        gap = (
+            rng.expovariate(scenario.offered_rps)
+            if scenario.arrival == "poisson"
+            else mean_gap
+        )
+        t += gap
+        if t >= scenario.duration_s:
+            return offsets
+        offsets.append(t)
+
+
+def build_schedule(
+    scenario: Scenario,
+    vertices: Sequence[Hashable],
+    *,
+    graph_anchor: Hashable | None = None,
+) -> list[Request]:
+    """Materialise the full request stream for one repetition.
+
+    ``vertices`` is the served graph's vertex set in a deterministic
+    order (sort it); payload vertices are drawn from it. A storm
+    request appends a pendant edge ``{fresh_id} {graph_anchor}`` to the
+    graph file (degree-1, so the k-VCCs are unchanged while the
+    fingerprint is not) and then sends ``reload``. Repetition r of a
+    scenario uses seed ``scenario.seed + r`` — pass the reseeded
+    scenario via :meth:`Scenario.with_overrides`.
+    """
+    if not vertices:
+        raise ParameterError("cannot build a schedule over zero vertices")
+    rng = random.Random(scenario.seed)
+    kinds = [kind for kind, _ in scenario.mix]
+    weights = [weight for _, weight in scenario.mix]
+    anchor = graph_anchor if graph_anchor is not None else vertices[0]
+    schedule: list[Request] = []
+    storm_serial = 0
+    for offset in _arrivals(scenario, rng):
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "point":
+            request = Request(
+                offset,
+                kind,
+                {
+                    "op": "query",
+                    "v": rng.choice(vertices),
+                    "k": rng.randint(1, scenario.max_k),
+                },
+            )
+        elif kind == "batch":
+            request = Request(
+                offset,
+                kind,
+                {
+                    "op": "batch",
+                    "queries": [
+                        {
+                            "v": rng.choice(vertices),
+                            "k": rng.randint(1, scenario.max_k),
+                        }
+                        for _ in range(scenario.batch_size)
+                    ],
+                },
+            )
+        elif kind == "scan":
+            vertex = rng.choice(vertices)
+            request = Request(
+                offset,
+                kind,
+                {
+                    "op": "batch",
+                    "queries": [
+                        {"v": vertex, "k": k}
+                        for k in range(1, scenario.max_k + 1)
+                    ],
+                },
+            )
+        elif kind == "unknown":
+            request = Request(
+                offset,
+                kind,
+                {
+                    "op": "query",
+                    "v": f"ghost-{rng.randrange(1_000_000)}",
+                    "k": rng.randint(1, scenario.max_k),
+                },
+                expect="unknown-vertex",
+            )
+        else:  # storm
+            storm_serial += 1
+            request = Request(
+                offset,
+                kind,
+                {"op": "reload"},
+                mutate_append=(
+                    f"{STORM_VERTEX_BASE + storm_serial} {anchor}"
+                ),
+            )
+        schedule.append(request)
+    return schedule

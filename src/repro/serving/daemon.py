@@ -22,8 +22,11 @@ against the served graph) is rebuilt instead of serving wrong answers.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
+import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import IO
 
@@ -42,6 +45,9 @@ class ServeSettings:
     request_timeout: float | None = None
     #: Maximum requests answered concurrently (TCP only).
     workers: int = 4
+    #: Zero-argument callable returning a fresh Graph for the
+    #: ``reload`` op (None = reload is unsupported on this daemon).
+    reloader: Callable | None = None
 
 
 def serve_stdio(
@@ -61,7 +67,10 @@ def serve_stdio(
     obs.count("serving.sessions")
     for line in in_stream:
         response, keep_serving = handle_line(
-            engine, line, request_timeout=settings.request_timeout
+            engine,
+            line,
+            request_timeout=settings.request_timeout,
+            reloader=settings.reloader,
         )
         if response:
             served += 1
@@ -77,24 +86,32 @@ class _SessionHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         server: _TcpServer = self.server  # type: ignore[assignment]
+        server.register_session(threading.current_thread(), self.connection)
         obs.set_collector(server.collector)
         obs.count("serving.sessions")
-        for raw in self.rfile:
-            line = raw.decode("utf-8", errors="replace")
-            with server.worker_slots:
-                response, keep_serving = handle_line(
-                    server.engine,
-                    line,
-                    request_timeout=server.settings.request_timeout,
-                )
-            if response:
-                try:
-                    self.wfile.write(response.encode("utf-8") + b"\n")
-                    self.wfile.flush()
-                except (BrokenPipeError, ConnectionResetError):
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace")
+                with server.worker_slots:
+                    response, keep_serving = handle_line(
+                        server.engine,
+                        line,
+                        request_timeout=server.settings.request_timeout,
+                        reloader=server.settings.reloader,
+                    )
+                if response:
+                    try:
+                        self.wfile.write(response.encode("utf-8") + b"\n")
+                        self.wfile.flush()
+                    except (BrokenPipeError, ConnectionResetError):
+                        return
+                if not keep_serving or server.draining.is_set():
+                    # A draining daemon finishes the in-flight request
+                    # (the response above went out) and then hangs up
+                    # instead of waiting for the client's next line.
                     return
-            if not keep_serving:
-                return
+        finally:
+            server.unregister_session(threading.current_thread())
 
 
 class _TcpServer(socketserver.ThreadingTCPServer):
@@ -118,6 +135,22 @@ class _TcpServer(socketserver.ThreadingTCPServer):
         # run's collector (Collector.count is a dict update under the
         # GIL; merge-safe for our integer bumps).
         self.collector = obs.get_collector()
+        #: Set while :meth:`TcpServerHandle.stop` drains sessions.
+        self.draining = threading.Event()
+        self._sessions_lock = threading.Lock()
+        self._sessions: dict[threading.Thread, object] = {}
+
+    def register_session(self, thread, connection) -> None:
+        with self._sessions_lock:
+            self._sessions[thread] = connection
+
+    def unregister_session(self, thread) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(thread, None)
+
+    def live_sessions(self) -> list[tuple[threading.Thread, object]]:
+        with self._sessions_lock:
+            return list(self._sessions.items())
 
 
 class TcpServerHandle:
@@ -132,17 +165,48 @@ class TcpServerHandle:
         """The bound ``(host, port)`` — port is concrete even if 0 was asked."""
         return self._server.server_address  # type: ignore[return-value]
 
-    def shutdown(self) -> None:
-        """Stop accepting, close the socket, join the acceptor thread."""
-        self._server.shutdown()
+    @property
+    def port(self) -> int:
+        """The bound port (ephemeral when 0 was requested)."""
+        return self.address[1]
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight sessions, join every thread.
+
+        In-flight requests get ``drain_timeout`` seconds to finish
+        (their responses go out; the connections then close). Sessions
+        still alive past the budget — e.g. a client holding an idle
+        connection open — have their sockets force-closed, which
+        unblocks the handler's read and ends the thread. On return no
+        session threads remain, so back-to-back load-test runs (and
+        pytest sessions) never inherit orphan handlers.
+        """
+        self._server.draining.set()
+        self._server.shutdown()  # acceptor loop exits; no new sessions
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        for thread, _ in self._server.live_sessions():
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        for thread, connection in self._server.live_sessions():
+            # Past the drain budget: yank the transport out from under
+            # the blocked read. shutdown() (not just close()) is what
+            # reliably wakes a thread parked in recv().
+            try:
+                connection.shutdown(socket.SHUT_RDWR)  # type: ignore[attr-defined]
+            except OSError:
+                pass
+            thread.join(timeout=1.0)
         self._server.server_close()
         self._thread.join(timeout=5)
+
+    def shutdown(self) -> None:
+        """Alias for :meth:`stop` (kept for existing callers)."""
+        self.stop()
 
     def __enter__(self) -> "TcpServerHandle":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.shutdown()
+        self.stop()
 
 
 def serve_tcp(

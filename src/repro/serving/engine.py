@@ -208,6 +208,23 @@ class QueryEngine:
                 )
             return self._index
 
+    def reload(self, graph: Graph) -> None:
+        """Adopt a fresh copy of the served graph (e.g. re-read from disk).
+
+        Resets the staleness probe so the next query fingerprint-checks
+        the index against the new graph (rebuilding it when the graph
+        actually changed), and conservatively clears the result cache —
+        cached answers are consulted *before* the index, so a stale
+        entry would otherwise outlive the rebuild. Reloads are rare
+        (mutation events, not queries); the cache re-warms from the
+        index at index-lookup cost.
+        """
+        with self._lock:
+            obs.count("serving.engine.reloads")
+            self._graph = graph
+            self._validated = None
+            self._cache.clear()
+
     # -- queries -------------------------------------------------------
 
     def query(

@@ -11,7 +11,14 @@ Operations (the ``"op"`` field):
 * ``query`` — one QkVCS lookup: ``{"op": "query", "v": 7, "k": 3}``;
 * ``batch`` — many lookups in one round trip:
   ``{"op": "batch", "queries": [{"v": 7, "k": 3}, …]}``;
-* ``stats`` — engine/cache/index introspection;
+* ``stats`` — engine/cache/index introspection plus the ``serving.*``
+  counters of the daemon's collector (the load-test harness reads
+  these before and after a measurement window and folds the deltas
+  into its run table);
+* ``reload`` — re-read the served graph from its source and hand the
+  fresh copy to the engine (stale indexes rebuild on the next query);
+  only available when the daemon was started with a graph path, else
+  an ``unsupported-op`` error;
 * ``shutdown`` — close this session (the daemon's loop ends).
 
 Every response carries ``"ok"``; errors add ``"error"`` (a message)
@@ -40,7 +47,7 @@ __all__ = ["PROTOCOL", "handle_line", "handle_request"]
 #: incompatible changes.
 PROTOCOL = "repro.serve/1"
 
-_OPS = ("ping", "query", "batch", "stats", "shutdown")
+_OPS = ("ping", "query", "batch", "stats", "reload", "shutdown")
 
 
 def _sort_key(vertex) -> tuple[str, str]:
@@ -81,18 +88,31 @@ def _parse_query(doc: dict) -> tuple:
     return vertex, k
 
 
+def _serving_counters() -> dict:
+    """The active collector's ``serving.*`` counters (empty under the
+    no-op default collector)."""
+    return {
+        name: value
+        for name, value in obs.get_collector().counters.items()
+        if name.startswith("serving.")
+    }
+
+
 def handle_request(
     engine: QueryEngine,
     request: dict,
     *,
     deadline: Deadline | None = None,
+    reloader=None,
 ) -> tuple[dict, bool]:
     """Answer one decoded request; returns ``(response, keep_serving)``.
 
     ``keep_serving`` is False only for ``shutdown``. The deadline
     bounds this request's live work (checked cooperatively at query
     boundaries); expiry yields a ``deadline`` error response carrying
-    the completed prefix of a batch.
+    the completed prefix of a batch. ``reloader`` is a zero-argument
+    callable returning a fresh :class:`~repro.graph.adjacency.Graph`
+    for the ``reload`` op (None = the op is unsupported).
     """
     op = request.get("op")
     if op not in _OPS:
@@ -108,7 +128,32 @@ def handle_request(
         if op == "ping":
             response = {"ok": True, "op": "ping", "protocol": PROTOCOL}
         elif op == "stats":
-            response = {"ok": True, "op": "stats", "stats": engine.stats()}
+            response = {
+                "ok": True,
+                "op": "stats",
+                "stats": engine.stats(),
+                "counters": _serving_counters(),
+            }
+        elif op == "reload":
+            if reloader is None:
+                response = _error(
+                    "reload needs the daemon to know its graph source "
+                    "(start `ripple serve` with --graph)",
+                    "unsupported-op",
+                )
+            else:
+                try:
+                    graph = reloader()
+                except OSError as exc:
+                    response = _error(f"reload failed: {exc}", "internal")
+                else:
+                    engine.reload(graph)
+                    response = {
+                        "ok": True,
+                        "op": "reload",
+                        "num_vertices": graph.num_vertices,
+                        "num_edges": graph.num_edges,
+                    }
         elif op == "shutdown":
             response = {"ok": True, "op": "shutdown"}
             keep_serving = False
@@ -161,6 +206,7 @@ def handle_line(
     line: str,
     *,
     request_timeout: float | None = None,
+    reloader=None,
 ) -> tuple[str, bool]:
     """Decode one request line, answer it, encode one response line.
 
@@ -187,6 +233,6 @@ def handle_line(
         Deadline(request_timeout) if request_timeout is not None else None
     )
     response, keep_serving = handle_request(
-        engine, request, deadline=deadline
+        engine, request, deadline=deadline, reloader=reloader
     )
     return json.dumps(response, separators=(",", ":")), keep_serving

@@ -200,3 +200,142 @@ class TestScripts:
         assert run.returncode == 0, run.stdout + run.stderr
         saved = json.loads(current.read_text(encoding="utf-8"))
         assert saved["schema"] == perfgate.SCHEMA
+
+
+def _load_row(**overrides):
+    from repro.loadtest import Sample
+    from repro.loadtest.run_table import aggregate
+
+    kwargs = dict(
+        scenario="smoke",
+        repetition=1,
+        topology="toy",
+        workers=2,
+        offered_rps=40.0,
+        samples=[Sample("point", 0.5, 2.0, "ok")] * 10,
+        measure_window_s=1.0,
+        calibration_s=0.02,
+    )
+    kwargs.update(overrides)
+    return aggregate(**kwargs)
+
+
+def _load_gate(**overrides):
+    gate = {
+        "schema": perfgate.LOAD_GATE_SCHEMA,
+        "scenario": "smoke",
+        "calibration_s": 0.02,
+        "p95_ceiling_ms": 10.0,
+        "rps_floor": 5.0,
+        "max_failure_rate": 0.0,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class TestLoadGate:
+    def test_clean_rows_pass(self):
+        verdict = perfgate.compare_load_table([_load_row()], _load_gate())
+        assert verdict["ok"] and not verdict["failures"]
+
+    def test_gate_scenario_filters_rows(self):
+        other = _load_row(scenario="storm")
+        verdict = perfgate.compare_load_table([other], _load_gate())
+        assert not verdict["ok"]
+        assert "no run-table rows matched" in verdict["failures"][0]
+
+    def test_failure_rate_over_cap_fails(self):
+        from repro.loadtest import Sample
+
+        samples = [Sample("point", 0.5, 2.0, "ok")] * 9 + [
+            Sample("point", 0.6, 0.0, "deadline", code="client-timeout")
+        ]
+        verdict = perfgate.compare_load_table(
+            [_load_row(samples=samples)], _load_gate()
+        )
+        assert not verdict["ok"]
+        assert any("failure_rate" in f for f in verdict["failures"])
+
+    def test_slowness_rescales_both_thresholds(self):
+        from repro.loadtest import Sample
+
+        # A 10x slower machine: p95 ceiling stretches 10x, floor
+        # shrinks 10x — the same row passes where raw thresholds fail.
+        slow_samples = [Sample("point", 0.5, 50.0, "ok")] * 6
+        raw = _load_gate(p95_ceiling_ms=10.0, rps_floor=5.0)
+        slow_row = _load_row(calibration_s=0.2, samples=slow_samples)
+        assert perfgate.compare_load_table([slow_row], raw)["ok"]
+        reference_speed = _load_row(samples=slow_samples)
+        assert not perfgate.compare_load_table([reference_speed], raw)["ok"]
+
+    def test_row_without_calibration_fails(self):
+        verdict = perfgate.compare_load_table(
+            [_load_row(calibration_s=float("nan"))], _load_gate()
+        )
+        assert not verdict["ok"]
+        assert any("calibration" in f for f in verdict["failures"])
+
+    def test_config_rejects_wrong_schema_and_types(self, tmp_path):
+        wrong = tmp_path / "gate.json"
+        wrong.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            perfgate.load_gate_config(str(wrong))
+        untyped = tmp_path / "untyped.json"
+        untyped.write_text(
+            json.dumps(dict(_load_gate(), rps_floor="fast")),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="rps_floor"):
+            perfgate.load_gate_config(str(untyped))
+
+    def test_render_load_report_lists_failures(self):
+        verdict = perfgate.compare_load_table(
+            [_load_row(calibration_s=float("nan"))], _load_gate()
+        )
+        report = perfgate.render_load_report(verdict)
+        assert "Load gate" in report
+        assert "FAILURES" in report
+
+
+class TestLoadGateScript:
+    _run = TestScripts._run
+
+    def _table(self, tmp_path, rows):
+        from repro.loadtest.run_table import write_run_table
+
+        path = tmp_path / "run_table.csv"
+        write_run_table(path, rows)
+        return path
+
+    def test_load_table_mode_passes_and_trips(self, tmp_path):
+        gate_path = tmp_path / "gate.json"
+        gate_path.write_text(json.dumps(_load_gate()), encoding="utf-8")
+        table = self._table(tmp_path, [_load_row()])
+        clean = self._run(
+            "bench_compare.py", "--load-table", str(table),
+            "--load-gate", str(gate_path),
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "load gate passed" in clean.stdout
+
+        strict = tmp_path / "strict.json"
+        strict.write_text(
+            json.dumps(_load_gate(p95_ceiling_ms=0.000001)),
+            encoding="utf-8",
+        )
+        tripped = self._run(
+            "bench_compare.py", "--load-table", str(table),
+            "--load-gate", str(strict),
+        )
+        assert tripped.returncode == 1
+        assert "p95" in tripped.stdout
+
+    def test_load_table_mode_reports_bad_inputs(self, tmp_path):
+        gate_path = tmp_path / "gate.json"
+        gate_path.write_text(json.dumps(_load_gate()), encoding="utf-8")
+        missing = self._run(
+            "bench_compare.py", "--load-table", str(tmp_path / "no.csv"),
+            "--load-gate", str(gate_path),
+        )
+        assert missing.returncode == 2
+        assert "error" in missing.stderr

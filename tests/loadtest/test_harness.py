@@ -1,0 +1,171 @@
+"""End-to-end harness runs: in-process, subprocess, storms, the gate."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.bench.perfgate import compare_load_table
+from repro.graph.generators import planted_kvcc_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.loadtest import (
+    DaemonProcess,
+    LoadTestError,
+    get_scenario,
+    run_scenario,
+)
+from repro.loadtest.client import drive
+from repro.loadtest.workload import build_schedule
+from repro.resilience import Deadline
+from repro.serving import QueryEngine, serve_tcp
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "served.edges"
+    write_edge_list(planted_kvcc_graph(2, 10, 3, seed=3), path)
+    return path
+
+
+def _quick(name="point", **overrides):
+    defaults = dict(
+        offered_rps=40.0,
+        duration_s=0.8,
+        warmup_s=0.2,
+        workers=2,
+        repetitions=1,
+    )
+    defaults.update(overrides)
+    return get_scenario(name).with_overrides(**defaults)
+
+
+class TestInProcess:
+    """Drive an in-process ``serve_tcp`` (no subprocess spawn cost)."""
+
+    def test_run_scenario_produces_a_clean_row(self, graph_file):
+        graph = read_edge_list(graph_file, allow_self_loops=True)
+        with obs.collecting():
+            with serve_tcp(QueryEngine(graph), background=True) as handle:
+                outcome = run_scenario(
+                    _quick("mixed"),
+                    graph_file,
+                    topology="planted-2x10-k3",
+                    calibration_s=0.02,
+                    address=handle.address,
+                    monitor_pid=os.getpid(),
+                )
+        assert outcome.status == "completed"
+        (row,) = outcome.rows
+        assert row.scenario == "mixed"
+        assert row.topology == "planted-2x10-k3"
+        assert row.failure_rate == 0.0
+        assert row.request_count > 0
+        assert row.achieved_rps > 0
+        assert row.p95_latency_ms >= row.p50_latency_ms > 0
+        # The stats op folded the daemon's counter deltas into the row.
+        assert row.serving_requests >= row.request_count
+        assert row.serving_queries > 0
+        # /proc is live on Linux CI; both resource columns populate.
+        assert row.cpu_usage_avg == row.cpu_usage_avg
+        assert row.rss_peak_mb > 0
+        assert outcome.samples[1]  # raw samples kept per repetition
+
+    def test_repetitions_reseed_but_reruns_reproduce(self, graph_file):
+        graph = read_edge_list(graph_file, allow_self_loops=True)
+        scenario = _quick(repetitions=2, duration_s=0.5, warmup_s=0.1)
+        with obs.collecting():
+            with serve_tcp(QueryEngine(graph), background=True) as handle:
+                outcome = run_scenario(
+                    scenario,
+                    graph_file,
+                    calibration_s=0.02,
+                    address=handle.address,
+                )
+        first, second = outcome.rows
+        assert (first.repetition, second.repetition) == (1, 2)
+        # Different seeds -> different Poisson draws.
+        assert first.request_count != second.request_count or (
+            outcome.samples[1][0].scheduled_s
+            != outcome.samples[2][0].scheduled_s
+        )
+
+    def test_expired_deadline_short_circuits(self, graph_file):
+        outcome = run_scenario(
+            _quick(),
+            graph_file,
+            calibration_s=0.02,
+            address=("127.0.0.1", 1),  # never dialled
+            deadline=Deadline(0),
+        )
+        assert outcome.status == "deadline"
+        assert outcome.rows == []
+
+    def test_gate_passes_on_the_clean_row(self, graph_file):
+        graph = read_edge_list(graph_file, allow_self_loops=True)
+        scenario = _quick()
+        with obs.collecting():
+            with serve_tcp(QueryEngine(graph), background=True) as handle:
+                outcome = run_scenario(
+                    scenario,
+                    graph_file,
+                    calibration_s=0.02,
+                    address=handle.address,
+                )
+        gate = {
+            "schema": "repro.loadgate/1",
+            "scenario": scenario.name,
+            "calibration_s": 0.02,
+            "p95_ceiling_ms": 10_000.0,
+            "rps_floor": 0.01,
+            "max_failure_rate": 0.0,
+        }
+        assert compare_load_table(outcome.rows, gate)["ok"]
+        strict = dict(gate, p95_ceiling_ms=1e-9)
+        verdict = compare_load_table(outcome.rows, strict)
+        assert not verdict["ok"]
+        assert any("p95" in failure for failure in verdict["failures"])
+
+
+class TestFailurePaths:
+    def test_dead_target_classifies_connection_refused(self, tmp_path):
+        scenario = _quick(
+            offered_rps=30.0, duration_s=0.3, warmup_s=0.0, workers=1
+        )
+        schedule = build_schedule(scenario, list(range(10)))
+        samples, _ = drive(("127.0.0.1", 1), schedule, scenario)
+        assert samples
+        assert {s.outcome for s in samples} == {"connection-refused"}
+
+    def test_daemon_that_never_binds_raises(self, tmp_path):
+        missing = tmp_path / "nope.edges"
+        daemon = DaemonProcess(missing)
+        with pytest.raises(LoadTestError, match="listening"):
+            daemon.start(timeout_s=30.0)
+        daemon.stop()
+
+
+class TestSubprocessStorm:
+    """The real thing: spawned daemon, mid-run mutations, reloads."""
+
+    @pytest.mark.slow
+    def test_storm_run_rebuilds_and_restores_the_graph(self, graph_file):
+        pristine = graph_file.read_bytes()
+        scenario = _quick(
+            "storm",
+            offered_rps=30.0,
+            duration_s=1.2,
+            warmup_s=0.2,
+            seed=11,
+        )
+        outcome = run_scenario(
+            scenario, graph_file, calibration_s=0.02
+        )
+        (row,) = outcome.rows
+        assert row.failure_rate == 0.0
+        # At 30 rps x 1.2 s with 8% storm weight, at least one reload
+        # fired (seed 11 is checked to draw storms), and each reload
+        # forced a stale-index rebuild on the next query.
+        assert row.serving_index_stale_rebuilds >= 1
+        assert row.serving_requests > 0
+        # Mutations never leak: the served file is byte-identical.
+        assert graph_file.read_bytes() == pristine

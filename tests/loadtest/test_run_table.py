@@ -1,0 +1,172 @@
+"""The run table: glossary lockstep, determinism, failure taxonomy."""
+
+import math
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.loadtest import (
+    COLUMNS,
+    OUTCOMES,
+    Sample,
+    aggregate,
+    read_run_table,
+    write_run_table,
+)
+from repro.loadtest.run_table import COUNTER_COLUMNS, percentile
+
+DOCS_GLOSSARY = (
+    Path(__file__).resolve().parents[2] / "docs" / "loadtest.md"
+)
+
+
+def _documented_columns() -> tuple[str, ...]:
+    """The backticked first-column names of the docs glossary table."""
+    text = DOCS_GLOSSARY.read_text(encoding="utf-8")
+    _, _, section = text.partition("### Column glossary")
+    assert section, "docs/loadtest.md lost its '### Column glossary' heading"
+    names = []
+    for line in section.splitlines():
+        match = re.match(r"\| `(\w+)` \|", line)
+        if match:
+            names.append(match.group(1))
+        elif names and not line.startswith("|"):
+            break  # table ended
+    return tuple(names)
+
+
+def _samples() -> list[Sample]:
+    return [
+        # Warmup: excluded from every aggregate.
+        Sample("point", 0.1, 9000.0, "ok", warmup=True),
+        # Measured successes, including an *expected* error response.
+        Sample("point", 0.6, 1.0, "ok"),
+        Sample("point", 0.7, 2.0, "ok"),
+        Sample("unknown", 0.8, 3.0, "ok", code="unknown-vertex"),
+        Sample("batch", 0.9, 4.0, "ok"),
+        # One of each failure class.
+        Sample("point", 1.0, 50.0, "deadline", code="client-timeout"),
+        Sample("point", 1.1, 0.0, "protocol-error", code="internal"),
+        Sample("point", 1.2, 0.0, "connection-refused", code="eof"),
+    ]
+
+
+def _row(**overrides):
+    kwargs = dict(
+        scenario="unit",
+        repetition=1,
+        topology="toy",
+        workers=2,
+        offered_rps=10.0,
+        samples=_samples(),
+        measure_window_s=2.0,
+        calibration_s=0.02,
+        counters={"serving.requests": 7, "serving.queries": 5},
+    )
+    kwargs.update(overrides)
+    return aggregate(**kwargs)
+
+
+class TestGlossaryLockstep:
+    def test_docs_table_matches_columns_exactly(self):
+        assert _documented_columns() == COLUMNS
+
+    def test_counter_columns_are_all_in_columns(self):
+        assert set(COUNTER_COLUMNS) <= set(COLUMNS)
+
+
+class TestTaxonomy:
+    def test_each_failure_class_lands_in_its_own_column(self):
+        row = _row()
+        assert row.failures_deadline == 1
+        assert row.failures_protocol == 1
+        assert row.failures_connection == 1
+        assert row.failure_rate == pytest.approx(3 / 7)
+
+    def test_expected_error_counts_as_ok(self):
+        row = _row()
+        # 4 ok samples (one of them the unknown-vertex probe) over the
+        # 2-second window.
+        assert row.achieved_rps == pytest.approx(4 / 2.0)
+
+    def test_warmup_excluded_from_aggregates(self):
+        row = _row()
+        assert row.request_count == 7  # the 9-second warmup outlier
+        assert row.avg_latency_ms < 9000.0 / 4
+
+    def test_latency_percentiles_over_ok_samples_only(self):
+        row = _row()
+        assert row.p50_latency_ms == 2.0
+        assert row.p99_latency_ms == 4.0
+
+    def test_counters_fold_into_their_columns(self):
+        row = _row()
+        assert row.serving_requests == 7
+        assert row.serving_queries == 5
+        assert row.serving_index_stale_rebuilds == 0
+
+    def test_sample_rejects_unknown_outcome(self):
+        with pytest.raises(ParameterError, match="outcome"):
+            Sample("point", 0.0, 1.0, "exploded")
+        assert OUTCOMES == (
+            "ok",
+            "deadline",
+            "protocol-error",
+            "connection-refused",
+        )
+
+
+class TestWriter:
+    def test_header_is_exactly_columns(self, tmp_path):
+        path = tmp_path / "run_table.csv"
+        write_run_table(path, [_row()])
+        header = path.read_text(encoding="utf-8").splitlines()[0]
+        assert header == ",".join(COLUMNS)
+
+    def test_writing_same_rows_is_byte_identical(self, tmp_path):
+        first, second = tmp_path / "a.csv", tmp_path / "b.csv"
+        rows = [_row(), _row(repetition=2)]
+        write_run_table(first, rows)
+        write_run_table(second, rows)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_roundtrip_preserves_values(self, tmp_path):
+        path = tmp_path / "run_table.csv"
+        row = _row()
+        write_run_table(path, [row])
+        (read,) = read_run_table(path)
+        assert read.scenario == row.scenario
+        assert read.request_count == row.request_count
+        assert read.failure_rate == pytest.approx(row.failure_rate)
+        assert read.p95_latency_ms == pytest.approx(
+            row.p95_latency_ms, abs=1e-3
+        )
+        assert read.serving_requests == row.serving_requests
+
+    def test_nan_resources_serialise_as_empty_cells(self, tmp_path):
+        path = tmp_path / "run_table.csv"
+        write_run_table(path, [_row(cpu_usage_avg=float("nan"))])
+        record = path.read_text(encoding="utf-8").splitlines()[1]
+        cells = dict(zip(COLUMNS, record.split(",")))
+        assert cells["cpu_usage_avg"] == ""
+        (read,) = read_run_table(path)
+        assert math.isnan(read.cpu_usage_avg)
+
+    def test_reader_rejects_foreign_header(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b,c\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(ParameterError, match="header"):
+            read_run_table(path)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 0.01) == 1.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))

@@ -4,6 +4,7 @@ import io
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -147,3 +148,112 @@ class TestTcp:
             )
             assert answers[0]["code"] == "parse"
             assert answers[1]["ok"]
+
+
+class TestStopAndDrain:
+    def test_handle_exposes_the_ephemeral_port(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        handle = serve_tcp(engine, background=True)
+        try:
+            assert handle.port == handle.address[1] > 0
+        finally:
+            handle.stop()
+
+    def test_stop_unblocks_idle_sessions_and_leaves_no_threads(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        handle = serve_tcp(engine, background=True)
+        # Two sessions: one idle (parked in readline), one that has
+        # already completed a request and is waiting for the next line.
+        idle = socket.create_connection(handle.address, timeout=10)
+        active = socket.create_connection(handle.address, timeout=10)
+        stream = active.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"op":"ping"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["ok"]
+        give_up = time.monotonic() + 10
+        while (
+            len(handle._server.live_sessions()) < 2
+            and time.monotonic() < give_up
+        ):
+            time.sleep(0.01)
+        sessions = [t for t, _ in handle._server.live_sessions()]
+        assert len(sessions) == 2
+        handle.stop(drain_timeout=0.5)
+        assert handle._server.live_sessions() == []
+        assert not any(t.is_alive() for t in sessions)
+        idle.close()
+        active.close()
+
+    def test_stop_drains_the_in_flight_request(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        handle = serve_tcp(engine, background=True)
+        sock = socket.create_connection(handle.address, timeout=10)
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"op":"query","v":0,"k":3}\n')
+        stream.flush()
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        # The already-sent request still gets its answer.
+        answer = json.loads(stream.readline())
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        assert answer["ok"]
+        sock.close()
+
+
+class TestReloadAndStats:
+    def _ask(self, address, lines):
+        return TestTcp._ask(self, address, lines)
+
+    def test_stats_response_carries_serving_counters(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with obs.collecting():
+            with serve_tcp(engine, background=True) as handle:
+                answers = self._ask(
+                    handle.address,
+                    ['{"op":"query","v":0,"k":2}', '{"op":"stats"}'],
+                )
+        counters = answers[1]["counters"]
+        assert counters["serving.requests"] >= 2
+        assert counters["serving.queries"] == 1
+        assert all(name.startswith("serving.") for name in counters)
+
+    def test_reload_without_a_reloader_is_unsupported(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with serve_tcp(engine, background=True) as handle:
+            answers = self._ask(handle.address, ['{"op":"reload"}'])
+        assert answers[0]["code"] == "unsupported-op"
+
+    def test_reload_swaps_in_the_reread_graph(self, graph, tmp_path):
+        from repro.graph.io import read_edge_list, write_edge_list
+
+        path = tmp_path / "served.edges"
+        write_edge_list(graph, path)
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        settings = ServeSettings(
+            reloader=lambda: read_edge_list(path, allow_self_loops=True)
+        )
+        with obs.collecting() as collector:
+            with serve_tcp(engine, settings, background=True) as handle:
+                before = self._ask(handle.address, ['{"op":"reload"}'])[0]
+                with open(path, "a", encoding="utf-8") as fh:
+                    fh.write("10000001 0\n")
+                after = self._ask(handle.address, ['{"op":"reload"}'])[0]
+        assert before["ok"] and after["ok"]
+        assert after["num_vertices"] == before["num_vertices"] + 1
+        assert after["num_edges"] == before["num_edges"] + 1
+        assert collector.counter("serving.engine.reloads") == 2
+
+    def test_failing_reloader_answers_internal(self, graph, tmp_path):
+        def explode():
+            raise OSError("disk fell off")
+
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        settings = ServeSettings(reloader=explode)
+        with serve_tcp(engine, settings, background=True) as handle:
+            answers = self._ask(
+                handle.address, ['{"op":"reload"}', '{"op":"ping"}']
+            )
+        assert answers[0]["code"] == "internal"
+        assert "disk fell off" in answers[0]["error"]
+        assert answers[1]["ok"]  # the session survives

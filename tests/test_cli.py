@@ -285,6 +285,61 @@ class TestServeCommand:
         assert "HOST:PORT" in capsys.readouterr().err
 
 
+class TestLoadtestCommand:
+    def test_loadtest_args(self):
+        args = build_parser().parse_args(
+            ["loadtest", "g.txt", "--scenario", "point", "--scenario",
+             "storm", "--rate", "25", "--arrival", "uniform"]
+        )
+        assert args.scenarios == ["point", "storm"]
+        assert args.rate == 25.0
+        assert args.arrival == "uniform"
+
+    def test_unknown_scenario_is_reported(self, edge_list, tmp_path,
+                                          capsys):
+        code = main(["loadtest", edge_list, "--scenario", "hurricane",
+                     "--output-dir", str(tmp_path / "out")])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_loadtest_end_to_end_writes_artifacts(self, edge_list,
+                                                  tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main([
+            "loadtest", edge_list,
+            "--scenario", "point",
+            "--rate", "30", "--duration", "0.8", "--warmup", "0.2",
+            "--workers", "2", "--repetitions", "1",
+            "--topology", "community-2x10-k3",
+            "--output-dir", str(out_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "point#1" in captured.out
+        assert str(out_dir) in captured.out
+
+        from repro.loadtest import read_run_table
+
+        (row,) = read_run_table(out_dir / "run_table.csv")
+        assert row.scenario == "point"
+        assert row.topology == "community-2x10-k3"
+        assert row.offered_rps == 30.0
+        assert row.failure_rate == 0.0
+        assert row.calibration_s > 0  # measured once, carried per row
+
+        import json
+
+        samples = [
+            json.loads(line)
+            for line in (out_dir / "samples.jsonl")
+            .read_text(encoding="utf-8")
+            .splitlines()
+        ]
+        assert samples and all(s["scenario"] == "point" for s in samples)
+        assert any(s["warmup"] for s in samples)
+
+
 class TestSpanTracing:
     def test_stats_prints_span_tree(self, edge_list, capsys):
         assert main(["enumerate", edge_list, "-k", "3", "--quiet",
