@@ -13,9 +13,14 @@ calibration-adjusted; peak traced memory +20%), 1 on any regression
 row of the load-test run table (see ``docs/loadtest.md``) is judged
 against the committed ``repro.loadgate/1`` thresholds — failure_rate
 within the cap (0 by default), p95 latency under a ceiling, achieved
-throughput over a floor. The same busy-loop calibration that
-normalises the perf gate rescales the thresholds per row, so a slow
-CI runner does not flake the gate.
+throughput over a floor, plus the shed-taxonomy bounds when the gate
+sets them: ``max_shed_rate`` (collateral shedding under nominal load),
+``min_shed_rate`` (a degradation gate proving overload actually shed
+instead of silently queueing), and ``max_internal_errors`` (the
+daemon's ``serving.errors.internal`` delta). The same busy-loop
+calibration that normalises the perf gate rescales the latency/rps
+thresholds per row, so a slow CI runner does not flake the gate; shed
+bounds are absolute rates and stay unscaled.
 
 ``--inject-slowdown CASE:FACTOR`` multiplies one case's measured wall
 time before the comparison — a test hook proving the gate actually

@@ -330,6 +330,9 @@ def compare_load_table(rows, gate: dict) -> dict:
     """
     scenario = gate.get("scenario")
     max_failure_rate = float(gate.get("max_failure_rate", 0.0))
+    max_shed_rate = gate.get("max_shed_rate")
+    min_shed_rate = gate.get("min_shed_rate")
+    max_internal_errors = gate.get("max_internal_errors")
     judged = [
         row
         for row in rows
@@ -377,12 +380,43 @@ def compare_load_table(rows, gate: dict) -> dict:
                 f"{required_rps:.2f} ({gate['rps_floor']} at reference "
                 f"speed ÷ {slowness:.2f} slowness)"
             )
+        # Shed bounds are absolute rates, not latency-shaped, so they
+        # need no calibration scaling. max_shed_rate bounds collateral
+        # shedding under nominal load; min_shed_rate (degradation
+        # gates) proves the daemon actually shed past saturation
+        # instead of silently queueing.
+        shed_rate = getattr(row, "shed_rate", 0.0)
+        if max_shed_rate is not None and shed_rate > float(max_shed_rate):
+            verdict = "SHED" if verdict == "ok" else verdict + "+SHED"
+            failures.append(
+                f"{label}: shed_rate {shed_rate:.4f} > "
+                f"{float(max_shed_rate):.4f} "
+                f"({getattr(row, 'shed_requests', 0)} shed)"
+            )
+        if min_shed_rate is not None and shed_rate < float(min_shed_rate):
+            verdict = "NOSHED" if verdict == "ok" else verdict + "+NOSHED"
+            failures.append(
+                f"{label}: shed_rate {shed_rate:.4f} < required "
+                f"{float(min_shed_rate):.4f} — overload did not shed "
+                f"(silent queueing?)"
+            )
+        internal = getattr(row, "serving_internal_errors", 0)
+        if (
+            max_internal_errors is not None
+            and internal > int(max_internal_errors)
+        ):
+            verdict = "INTERNAL" if verdict == "ok" else verdict + "+INTERNAL"
+            failures.append(
+                f"{label}: {internal} internal error(s) > allowed "
+                f"{int(max_internal_errors)}"
+            )
         report_rows.append(
             [
                 label,
                 f"{row.achieved_rps:.1f}/{required_rps:.1f}",
                 f"{row.p95_latency_ms:.2f}/{allowed_p95:.2f}",
                 f"{row.failure_rate:.4f}",
+                f"{shed_rate:.4f}",
                 f"{slowness:.2f}x",
                 verdict,
             ]
@@ -398,7 +432,8 @@ def render_load_report(verdict: dict) -> str:
         render_table(
             "Load gate: achieved/floor rps, p95/ceiling ms "
             "(calibration-adjusted)",
-            ["run", "rps", "p95 ms", "fail rate", "slowness", "verdict"],
+            ["run", "rps", "p95 ms", "fail rate", "shed rate", "slowness",
+             "verdict"],
             verdict["rows"],
         )
     ]

@@ -47,7 +47,7 @@ from repro.core.ripple import ripple, ripple_me
 from repro.core.vcce_bu import vcce_bu
 from repro.core.vcce_td import vcce_td
 from repro.datasets.registry import DATASETS
-from repro.errors import ReproError
+from repro.errors import IndexCorruptionError, ReproError
 from repro.flow import fastpath
 from repro.graph.io import read_edge_list
 from repro.obs.spans import render_span_tree, span_totals, to_chrome_trace
@@ -300,6 +300,21 @@ def build_parser() -> argparse.ArgumentParser:
         "completed prefix with a 'deadline' error code",
     )
     serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="TCP: bound on requests waiting for a worker before the "
+        "daemon sheds with an 'overloaded' error (default 32)",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=("bounded", "strict", "block"),
+        default="bounded",
+        help="TCP admission policy: bounded queueing (default), "
+        "strict (shed whenever all workers are busy), or block "
+        "(legacy unbounded queueing, never sheds)",
+    )
+    serve.add_argument(
         "--cache-size",
         type=int,
         default=1024,
@@ -375,8 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's query-k ceiling",
     )
     loadtest.add_argument(
+        "--retry-budget", type=int,
+        help="override the scenario's client retry budget (retries on "
+        "overloaded/garbage/dropped responses with jittered backoff)",
+    )
+    loadtest.add_argument(
         "--daemon-workers", type=int, default=4,
         help="daemon-side concurrent request cap (default 4)",
+    )
+    loadtest.add_argument(
+        "--daemon-max-queue", type=int,
+        help="daemon-side admission queue bound (see `serve --max-queue`)",
+    )
+    loadtest.add_argument(
+        "--daemon-shed-policy", choices=("bounded", "strict", "block"),
+        help="daemon-side shed policy (see `serve --shed-policy`)",
     )
     loadtest.add_argument(
         "--request-timeout", type=float, metavar="SECONDS",
@@ -621,7 +649,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     index = None
     if args.index:
         if os.path.exists(args.index):
-            index = KvccIndex.load(args.index)
+            try:
+                index = KvccIndex.load(args.index)
+            except IndexCorruptionError as exc:
+                if graph is None:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return EXIT_ERROR
+                print(
+                    f"warning: {exc}; degrading to build-on-first-use "
+                    f"from {args.graph}",
+                    file=sys.stderr,
+                )
         elif graph is None:
             print(
                 f"error: index file {args.index} does not exist and no "
@@ -644,6 +682,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     settings = ServeSettings(
         request_timeout=args.request_timeout,
         workers=args.workers,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
         # The reload op re-reads the served file, so a load-test (or
         # operator) can mutate the graph on disk and storm the stale
         # detector without restarting the daemon.
@@ -722,6 +762,7 @@ def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
             ("seed", args.seed),
             ("arrival", args.arrival),
             ("max_k", args.max_k),
+            ("retry_budget", args.retry_budget),
         )
         if value is not None
     }
@@ -756,6 +797,8 @@ def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
             request_timeout=args.request_timeout,
             calibration_s=calibration_s,
             deadline=deadline,
+            daemon_max_queue=args.daemon_max_queue,
+            daemon_shed_policy=args.daemon_shed_policy,
         )
         rows.extend(outcome.rows)
         for repetition, samples in sorted(outcome.samples.items()):
@@ -776,7 +819,7 @@ def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
         reporting.render_table(
             "Load test: one row per (scenario, repetition)",
             ["run", "offered", "achieved", "p50 ms", "p95 ms", "p99 ms",
-             "fail", "cpu %"],
+             "fail", "shed", "cpu %"],
             [
                 [
                     f"{row.scenario}#{row.repetition}",
@@ -786,6 +829,7 @@ def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
                     f"{row.p95_latency_ms:.2f}",
                     f"{row.p99_latency_ms:.2f}",
                     f"{row.failure_rate:.4f}",
+                    f"{row.shed_rate:.4f}",
                     "-"
                     if row.cpu_usage_avg != row.cpu_usage_avg
                     else f"{row.cpu_usage_avg:.1f}",

@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "GraphError",
     "GraphFormatError",
+    "IndexCorruptionError",
     "ParameterError",
     "ParseError",
     "ReproError",
@@ -30,6 +31,24 @@ class GraphError(ReproError):
 
 class ParseError(ReproError):
     """Raised when an on-disk graph representation cannot be parsed."""
+
+
+class IndexCorruptionError(ParseError):
+    """A persisted k-VCC index failed its integrity check.
+
+    Raised by :meth:`repro.serving.index.KvccIndex.load` when a file is
+    torn, truncated, or fails its checksum. ``quarantine`` is the path
+    the corrupt file was renamed to (``None`` when the rename itself
+    failed and the file was left in place).
+    """
+
+    def __init__(
+        self, message: str, *, quarantine: str | None = None
+    ) -> None:
+        self.quarantine = quarantine
+        if quarantine is not None:
+            message = f"{message} (quarantined to {quarantine})"
+        super().__init__(message)
 
 
 class GraphFormatError(ParseError):

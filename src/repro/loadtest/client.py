@@ -18,12 +18,25 @@ Failure taxonomy (one outcome per request, see
 * ``protocol-error`` — an unexpected error code, an un-decodable
   response, or a success where an error was expected;
 * ``connection-refused`` — the connection could not be made or died
-  mid-request (refused, reset, broken pipe).
+  mid-request (refused, reset, broken pipe);
+* ``shed`` — the daemon refused the request with ``overloaded`` and it
+  stayed refused through the retry budget (shedding is the daemon
+  *working as designed*, so it is not a failure).
+
+When the scenario grants a ``retry_budget``, a worker retries
+``overloaded`` answers (waiting at least the response's
+``retry_after_ms`` hint), undecodable response lines, and dropped
+connections — with exponential backoff and *seeded* full jitter, so
+retry timing is as reproducible as the schedule itself. Latency is
+still measured from the original scheduled instant: a request that
+succeeded on retry charges its backoff to the server, open-loop style.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import socket
 import threading
 import time
@@ -33,15 +46,19 @@ from repro.loadtest.scenario import Scenario
 from repro.loadtest.workload import Request
 from repro.resilience import Deadline
 
-__all__ = ["drive", "request_once"]
+__all__ = ["drive", "request_once", "request_with_retries"]
 
 #: Client-side read budget: generous, so only a genuinely wedged
 #: daemon trips it (the per-request serving deadline is the real gate).
 CLIENT_TIMEOUT_S = 30.0
 
 
-def _classify(request: Request, line: str) -> Sample:
-    """Judge one response line against the request's expectation."""
+def _classify(request: Request, line: str) -> tuple[Sample, float | None]:
+    """Judge one response line against the request's expectation.
+
+    Returns ``(sample, retry_after_ms)`` — the hint is non-None only
+    for ``overloaded`` responses that advertised one.
+    """
 
     def sample(outcome: str, code: str, latency_ms: float = 0.0) -> Sample:
         return Sample(
@@ -55,18 +72,26 @@ def _classify(request: Request, line: str) -> Sample:
     try:
         response = json.loads(line)
     except ValueError:
-        return sample("protocol-error", "undecodable")
+        return sample("protocol-error", "undecodable"), None
     code = response.get("code", "")
+    if code == "overloaded":
+        # Shedding applies regardless of the expectation: even an
+        # `unknown` probe is admitted (or not) before it is judged.
+        hint = response.get("retry_after_ms")
+        return (
+            sample("shed", code),
+            float(hint) if isinstance(hint, (int, float)) else None,
+        )
     if request.expect == "ok":
         if response.get("ok"):
-            return sample("ok", "")
+            return sample("ok", ""), None
         if code == "deadline":
-            return sample("deadline", code)
-        return sample("protocol-error", code or "error")
+            return sample("deadline", code), None
+        return sample("protocol-error", code or "error"), None
     # An error was expected: the exact code is the success condition.
     if code == request.expect:
-        return sample("ok", code)
-    return sample("protocol-error", code or "unexpected-success")
+        return sample("ok", code), None
+    return sample("protocol-error", code or "unexpected-success"), None
 
 
 class _Connection:
@@ -101,11 +126,14 @@ class _Connection:
         self.drop()
 
 
-def request_once(
+def _attempt(
     connection: _Connection, request: Request, scheduled_at: float
-) -> Sample:
-    """Send one request and classify the outcome (latency from the
-    scheduled instant, not the actual send)."""
+) -> tuple[Sample, float | None]:
+    """One send + classify; returns ``(sample, retry_after_ms hint)``.
+
+    Latency is measured from the scheduled instant, not the actual
+    send.
+    """
     try:
         stream = connection.ensure()
         stream.write(
@@ -121,7 +149,7 @@ def request_once(
             latency_ms=(time.monotonic() - scheduled_at) * 1000.0,
             outcome="deadline",
             code="client-timeout",
-        )
+        ), None
     except OSError as exc:
         connection.drop()
         return Sample(
@@ -130,7 +158,7 @@ def request_once(
             latency_ms=(time.monotonic() - scheduled_at) * 1000.0,
             outcome="connection-refused",
             code=type(exc).__name__,
-        )
+        ), None
     latency_ms = (time.monotonic() - scheduled_at) * 1000.0
     if not line:
         # EOF mid-session: the daemon hung up on us.
@@ -141,28 +169,87 @@ def request_once(
             latency_ms=latency_ms,
             outcome="connection-refused",
             code="eof",
+        ), None
+    judged, hint = _classify(request, line)
+    return dataclasses.replace(judged, latency_ms=latency_ms), hint
+
+
+def request_once(
+    connection: _Connection, request: Request, scheduled_at: float
+) -> Sample:
+    """Send one request and classify the outcome (no retries)."""
+    sample, _ = _attempt(connection, request, scheduled_at)
+    return sample
+
+
+def _retriable(sample: Sample) -> bool:
+    """Whether a retry could plausibly change this outcome: shed
+    requests (the daemon said so), garbage response lines, and dropped
+    connections. Client-side timeouts are NOT retried — the daemon
+    still owes a response on that connection."""
+    return (
+        sample.outcome == "shed"
+        or sample.outcome == "connection-refused"
+        or (
+            sample.outcome == "protocol-error"
+            and sample.code == "undecodable"
         )
-    judged = _classify(request, line)
-    return Sample(
-        kind=judged.kind,
-        scheduled_s=judged.scheduled_s,
-        latency_ms=latency_ms,
-        outcome=judged.outcome,
-        code=judged.code,
     )
+
+
+def request_with_retries(
+    connection: _Connection,
+    request: Request,
+    scheduled_at: float,
+    scenario: Scenario,
+    rng: random.Random,
+    deadline: Deadline | None = None,
+) -> Sample:
+    """Send one request, retrying per the scenario's budget/backoff.
+
+    The n-th retry waits ``backoff_base_ms * 2**(n-1)`` (capped at
+    ``backoff_cap_ms``), raised to the daemon's ``retry_after_ms`` hint
+    when one was given, then multiplied by full jitter in [0.5, 1.0)
+    from the seeded per-worker RNG. The returned sample reflects the
+    *final* attempt, with latency from the original scheduled instant
+    and the consumed retry count attached.
+    """
+    sample, hint_ms = _attempt(connection, request, scheduled_at)
+    retries = 0
+    while (
+        retries < scenario.retry_budget
+        and _retriable(sample)
+        and not (deadline is not None and deadline.expired())
+    ):
+        retries += 1
+        delay_ms = min(
+            scenario.backoff_cap_ms,
+            scenario.backoff_base_ms * (2 ** (retries - 1)),
+        )
+        if hint_ms is not None:
+            delay_ms = max(delay_ms, hint_ms)
+        time.sleep((0.5 + 0.5 * rng.random()) * delay_ms / 1000.0)
+        sample, hint_ms = _attempt(connection, request, scheduled_at)
+    if retries:
+        sample = dataclasses.replace(sample, retries=retries)
+    return sample
 
 
 def _worker(
     address: tuple[str, int],
     slice_: list[Request],
     start: float,
-    warmup_s: float,
+    scenario: Scenario,
+    worker_index: int,
     graph_path: str | None,
     mutate_lock: threading.Lock,
     deadline: Deadline | None,
     out: list[Sample],
 ) -> None:
     connection = _Connection(address)
+    # Seeded per-worker jitter: retry timing replays exactly, like the
+    # schedule it perturbs.
+    rng = random.Random(scenario.seed * 1_000_003 + worker_index)
     try:
         for request in slice_:
             if deadline is not None and deadline.expired():
@@ -178,16 +265,15 @@ def _worker(
                 with mutate_lock:
                     with open(graph_path, "a", encoding="utf-8") as handle:
                         handle.write(request.mutate_append + "\n")
-            sample = request_once(connection, request, scheduled_at)
-            if request.offset_s < warmup_s:
-                sample = Sample(
-                    kind=sample.kind,
-                    scheduled_s=sample.scheduled_s,
-                    latency_ms=sample.latency_ms,
-                    outcome=sample.outcome,
-                    code=sample.code,
-                    warmup=True,
+            if scenario.retry_budget:
+                sample = request_with_retries(
+                    connection, request, scheduled_at, scenario, rng,
+                    deadline,
                 )
+            else:
+                sample = request_once(connection, request, scheduled_at)
+            if request.offset_s < scenario.warmup_s:
+                sample = dataclasses.replace(sample, warmup=True)
             out.append(sample)
     finally:
         connection.close()
@@ -224,7 +310,8 @@ def drive(
                 address,
                 slices[w],
                 start,
-                scenario.warmup_s,
+                scenario,
+                w,
                 graph_path,
                 mutate_lock,
                 deadline,

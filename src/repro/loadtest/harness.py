@@ -68,6 +68,9 @@ class DaemonProcess:
         request_timeout: float | None = None,
         cache_size: int = 1024,
         max_k: int | None = None,
+        max_queue: int | None = None,
+        shed_policy: str | None = None,
+        extra_env: dict[str, str] | None = None,
     ) -> None:
         self.graph_path = os.fspath(graph_path)
         self.index_path = (
@@ -77,6 +80,13 @@ class DaemonProcess:
         self.request_timeout = request_timeout
         self.cache_size = cache_size
         self.max_k = max_k
+        self.max_queue = max_queue
+        self.shed_policy = shed_policy
+        #: Extra environment for the daemon subprocess — e.g. a
+        #: ``REPRO_FAULT`` plan arming serving-stage chaos in the
+        #: daemon only, not the harness (the subprocess otherwise
+        #: inherits the caller's whole environment).
+        self.extra_env = dict(extra_env) if extra_env else {}
         self.address: tuple[str, int] | None = None
         self.stderr_lines: list[str] = []
         self._process: subprocess.Popen | None = None
@@ -86,6 +96,10 @@ class DaemonProcess:
     @property
     def pid(self) -> int | None:
         return self._process.pid if self._process is not None else None
+
+    def poll(self) -> int | None:
+        """The daemon's exit code, or None while it is still alive."""
+        return self._process.poll() if self._process is not None else None
 
     def _command(self) -> list[str]:
         command = [
@@ -108,6 +122,10 @@ class DaemonProcess:
             command += ["--request-timeout", str(self.request_timeout)]
         if self.max_k is not None:
             command += ["--max-k", str(self.max_k)]
+        if self.max_queue is not None:
+            command += ["--max-queue", str(self.max_queue)]
+        if self.shed_policy is not None:
+            command += ["--shed-policy", self.shed_policy]
         return command
 
     def start(self, timeout_s: float = 30.0) -> tuple[str, int]:
@@ -118,6 +136,7 @@ class DaemonProcess:
         env["PYTHONPATH"] = (
             src if not existing else src + os.pathsep + existing
         )
+        env.update(self.extra_env)
         self._process = subprocess.Popen(
             self._command(),
             stdout=subprocess.DEVNULL,
@@ -220,6 +239,9 @@ def run_scenario(
     deadline: Deadline | None = None,
     address: tuple[str, int] | None = None,
     monitor_pid: int | None = None,
+    daemon_max_queue: int | None = None,
+    daemon_shed_policy: str | None = None,
+    daemon_env: dict[str, str] | None = None,
 ) -> RunOutcome:
     """Run every repetition of one scenario; returns rows + raw samples.
 
@@ -229,6 +251,14 @@ def run_scenario(
     instead drives an already-running daemon (tests, remote targets);
     pair it with ``monitor_pid`` to keep CPU/RSS columns (use
     ``os.getpid()`` for an in-process ``serve_tcp``).
+
+    ``daemon_max_queue``/``daemon_shed_policy`` forward to the spawned
+    daemon's admission controller; ``daemon_env`` adds environment for
+    the daemon subprocess only (e.g. a ``REPRO_FAULT`` chaos plan —
+    each repetition's fresh daemon re-arms the plan from scratch). A
+    spawned daemon that *dies* mid-run raises :class:`LoadTestError`
+    with its stderr tail: a crashed daemon is never reported as an
+    ordinary slow run.
     """
     graph_path = os.fspath(graph_path)
     if calibration_s is None:
@@ -260,6 +290,9 @@ def run_scenario(
                     workers=daemon_workers,
                     request_timeout=request_timeout,
                     max_k=scenario.max_k,
+                    max_queue=daemon_max_queue,
+                    shed_policy=daemon_shed_policy,
+                    extra_env=daemon_env,
                 )
                 target = daemon.start()
                 pid = daemon.pid
@@ -279,6 +312,12 @@ def run_scenario(
             )
             if monitor is not None:
                 monitor.stop()
+            if daemon is not None and daemon.poll() is not None:
+                raise LoadTestError(
+                    f"daemon died mid-run (exit code {daemon.poll()}) "
+                    f"during {scenario.name!r} repetition {repetition}; "
+                    "stderr: " + " | ".join(daemon.stderr_lines[-5:])
+                )
             counters_after = _serving_counters(target)
             cpu, rss = (
                 monitor.summary(

@@ -39,7 +39,12 @@ __all__ = [
 #: Failure taxonomy: every sample lands in exactly one outcome.
 #: ``ok`` includes *expected* error responses (an ``unknown`` probe
 #: answered with ``unknown-vertex`` is the daemon behaving correctly).
-OUTCOMES = ("ok", "deadline", "protocol-error", "connection-refused")
+#: ``shed`` is an ``overloaded`` response that survived the client's
+#: retry budget — the daemon *choosing* to refuse work is load
+#: shedding doing its job, so it is tracked in its own columns and
+#: excluded from ``failure_rate`` (which keeps the CI
+#: ``failure_rate == 0`` gate meaning "nothing actually broke").
+OUTCOMES = ("ok", "deadline", "protocol-error", "connection-refused", "shed")
 
 #: Column names, in file order. ``docs/loadtest.md`` documents each
 #: one; ``tests/loadtest/test_run_table.py`` keeps the two in lockstep.
@@ -55,6 +60,10 @@ COLUMNS = (
     "failures_deadline",
     "failures_protocol",
     "failures_connection",
+    "shed_requests",
+    "shed_rate",
+    "retried_requests",
+    "retries_total",
     "avg_latency_ms",
     "p50_latency_ms",
     "p95_latency_ms",
@@ -68,6 +77,8 @@ COLUMNS = (
     "serving_cache_misses",
     "serving_index_stale_rebuilds",
     "serving_errors",
+    "serving_shed",
+    "serving_internal_errors",
 )
 
 #: run-table counter column -> obs counter folded into it.
@@ -78,6 +89,8 @@ COUNTER_COLUMNS = {
     "serving_cache_misses": "serving.cache.misses",
     "serving_index_stale_rebuilds": "serving.index.stale_rebuilds",
     "serving_errors": "serving.errors",
+    "serving_shed": "serving.shed",
+    "serving_internal_errors": "serving.errors.internal",
 }
 
 
@@ -98,12 +111,19 @@ class Sample:
     outcome: str
     code: str = ""
     warmup: bool = False
+    #: Client-side retries this request consumed before its final
+    #: outcome (0 = answered on the first attempt).
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOMES:
             raise ParameterError(
                 f"sample outcome must be one of {OUTCOMES}, "
                 f"got {self.outcome!r}"
+            )
+        if self.retries < 0:
+            raise ParameterError(
+                f"sample retries must be >= 0, got {self.retries}"
             )
 
     def to_json(self) -> dict:
@@ -114,6 +134,7 @@ class Sample:
             "outcome": self.outcome,
             "code": self.code,
             "warmup": self.warmup,
+            "retries": self.retries,
         }
 
 
@@ -132,6 +153,10 @@ class RunRow:
     failures_deadline: int
     failures_protocol: int
     failures_connection: int
+    shed_requests: int
+    shed_rate: float
+    retried_requests: int
+    retries_total: int
     avg_latency_ms: float
     p50_latency_ms: float
     p95_latency_ms: float
@@ -145,6 +170,8 @@ class RunRow:
     serving_cache_misses: int
     serving_index_stale_rebuilds: int
     serving_errors: int
+    serving_shed: int
+    serving_internal_errors: int
 
 # Fixed per-column formatting keeps the CSV byte-stable for identical
 # inputs: rates and seconds at 6 decimals, latencies at 3 (µs grain),
@@ -154,6 +181,7 @@ _PRECISION = {
     "offered_rps": 6,
     "achieved_rps": 6,
     "failure_rate": 6,
+    "shed_rate": 6,
     "calibration_s": 6,
     "avg_latency_ms": 3,
     "p50_latency_ms": 3,
@@ -266,6 +294,10 @@ def aggregate(
     in the raw JSONL). ``counters`` is the delta of the daemon's
     ``serving.*`` obs counters over the measurement window (from the
     protocol's ``stats`` op before/after).
+
+    ``shed`` samples are intentional refusals, not failures: they get
+    their own ``shed_requests``/``shed_rate`` columns and stay out of
+    ``failure_rate`` and out of the accepted-latency percentiles.
     """
     measured = [s for s in samples if not s.warmup]
     failures = {
@@ -274,9 +306,17 @@ def aggregate(
         "connection-refused": 0,
     }
     latencies = []
+    shed = 0
+    retried = 0
+    retries_total = 0
     for sample in measured:
+        if sample.retries:
+            retried += 1
+            retries_total += sample.retries
         if sample.outcome == "ok":
             latencies.append(sample.latency_ms)
+        elif sample.outcome == "shed":
+            shed += 1
         else:
             failures[sample.outcome] += 1
     latencies.sort()
@@ -296,6 +336,10 @@ def aggregate(
         failures_deadline=failures["deadline"],
         failures_protocol=failures["protocol-error"],
         failures_connection=failures["connection-refused"],
+        shed_requests=shed,
+        shed_rate=(shed / count) if count else 0.0,
+        retried_requests=retried,
+        retries_total=retries_total,
         avg_latency_ms=(
             sum(latencies) / len(latencies) if latencies else float("nan")
         ),

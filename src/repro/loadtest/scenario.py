@@ -59,6 +59,16 @@ class Scenario:
     max_k: int = 4
     #: Seed the whole schedule (arrivals, kinds, payloads) derives from.
     seed: int = 0
+    #: Client-side retries per request (0 disables). Retries fire on
+    #: ``overloaded`` responses (honouring ``retry_after_ms``),
+    #: undecodable response lines, and dropped connections — with
+    #: seeded-jitter exponential backoff. A request still ``overloaded``
+    #: after the budget lands in the ``shed`` outcome.
+    retry_budget: int = 0
+    #: First-retry backoff (doubles per retry, full jitter).
+    backoff_base_ms: float = 25.0
+    #: Backoff growth ceiling.
+    backoff_cap_ms: float = 1000.0
 
     def __post_init__(self) -> None:
         if not self.mix:
@@ -102,6 +112,19 @@ class Scenario:
             )
         if self.max_k < 1:
             raise ParameterError(f"max_k must be >= 1, got {self.max_k}")
+        if self.retry_budget < 0:
+            raise ParameterError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.backoff_base_ms <= 0:
+            raise ParameterError(
+                f"backoff_base_ms must be > 0, got {self.backoff_base_ms}"
+            )
+        if self.backoff_cap_ms < self.backoff_base_ms:
+            raise ParameterError(
+                f"backoff_cap_ms must be >= backoff_base_ms, got "
+                f"{self.backoff_cap_ms} < {self.backoff_base_ms}"
+            )
 
     @property
     def measure_window_s(self) -> float:
@@ -149,6 +172,40 @@ SCENARIOS = {
             warmup_s=0.75,
             workers=4,
             repetitions=2,
+        ),
+        # The degradation-curve scenario: point-only traffic meant to
+        # be swept past calibrated capacity (`--rate` overrides the
+        # offered rate per sweep step). Many client workers so the
+        # open-loop schedule keeps firing while earlier requests queue;
+        # a small retry budget so one overloaded answer is retried
+        # with jittered backoff before counting as shed.
+        Scenario(
+            "degrade",
+            (("point", 1.0),),
+            offered_rps=50.0,
+            duration_s=3.0,
+            warmup_s=0.75,
+            workers=16,
+            retry_budget=3,
+        ),
+        # The chaos-smoke scenario: the smoke mix (minus storms) with
+        # a retry budget, run under injected serving faults in CI —
+        # crashed sessions and garbage responses must be absorbed by
+        # retries, keeping failure_rate at 0.
+        Scenario(
+            "chaos",
+            (
+                ("point", 0.70),
+                ("batch", 0.15),
+                ("scan", 0.10),
+                ("unknown", 0.05),
+            ),
+            offered_rps=40.0,
+            duration_s=3.0,
+            warmup_s=0.75,
+            workers=4,
+            repetitions=2,
+            retry_budget=3,
         ),
     )
 }

@@ -11,7 +11,12 @@ three layers (see ``docs/serving.md`` and ``docs/architecture.md``):
   ceiling;
 * :mod:`repro.serving.daemon` + :mod:`repro.serving.protocol` — the
   ``ripple serve`` daemon speaking line-delimited JSON over stdio or
-  TCP, with per-request :class:`~repro.resilience.Deadline` budgets.
+  TCP, with per-request :class:`~repro.resilience.Deadline` budgets;
+* :mod:`repro.serving.admission` — :class:`AdmissionController`:
+  bounded admission with per-cost-class queues and explicit load
+  shedding (the ``overloaded`` protocol error);
+* :mod:`repro.serving.chaos` — deterministic fault injection into the
+  serving stages, extending :mod:`repro.resilience.faults`.
 
 Quickstart::
 
@@ -24,6 +29,7 @@ Quickstart::
     print(engine.query(vertex=7, k=3).components)
 """
 
+from repro.serving.admission import AdmissionController
 from repro.serving.daemon import (
     ServeSettings,
     TcpServerHandle,
@@ -40,6 +46,7 @@ from repro.serving.index import INDEX_SCHEMA, KvccIndex, graph_fingerprint
 from repro.serving.protocol import PROTOCOL, handle_line, handle_request
 
 __all__ = [
+    "AdmissionController",
     "BatchDeadlineExpired",
     "INDEX_SCHEMA",
     "KvccIndex",

@@ -6,18 +6,26 @@ Both front ends speak the line-delimited JSON protocol of
 * **stdio** — one session on stdin/stdout, for subprocess embedding
   and shell pipelines (requests in, responses out, in order);
 * **TCP** — a threading server handling each connection in its own
-  thread; a bounded worker semaphore caps how many requests are
-  *answered* concurrently (connections beyond the cap queue at the
-  semaphore, not in the kernel backlog).
+  thread; a shared :class:`~repro.serving.admission.AdmissionController`
+  caps how many requests are *answered* concurrently, lets a bounded
+  number wait (partitioned by cost class), and sheds the rest with an
+  ``overloaded`` error instead of queueing without bound.
 
 Per-request deadlines reuse :class:`repro.resilience.Deadline` and are
 cooperative: expiry is observed at query boundaries, so a batch cut
 short returns its completed prefix with a ``deadline`` error code.
 
+Both front ends cap the request line at ``max_line_bytes``: an
+oversized line is drained and answered with a ``bad-request`` error
+(the session survives) instead of buffering an unbounded line in
+memory.
+
 Degradation is graceful end to end: a missing index file means the
 engine builds one from the graph on first use (the first query pays
-the build; the rest ride it), and a stale index (fingerprint mismatch
-against the served graph) is rebuilt instead of serving wrong answers.
+the build; the rest ride it), a stale index (fingerprint mismatch
+against the served graph) is rebuilt instead of serving wrong answers,
+and a corrupt index file is quarantined at load time (see
+:mod:`repro.serving.index`) with the engine rebuilding live.
 """
 
 from __future__ import annotations
@@ -31,8 +39,10 @@ from dataclasses import dataclass
 from typing import IO
 
 from repro import obs
+from repro.serving.admission import AdmissionController
+from repro.serving.chaos import SessionCrash
 from repro.serving.engine import QueryEngine
-from repro.serving.protocol import handle_line
+from repro.serving.protocol import error_line, handle_line
 
 __all__ = ["ServeSettings", "TcpServerHandle", "serve_stdio", "serve_tcp"]
 
@@ -48,6 +58,22 @@ class ServeSettings:
     #: Zero-argument callable returning a fresh Graph for the
     #: ``reload`` op (None = reload is unsupported on this daemon).
     reloader: Callable | None = None
+    #: Bound on requests *waiting* for a worker before the daemon
+    #: starts shedding (TCP only; see AdmissionController).
+    max_queue: int = 32
+    #: ``bounded`` (default), ``strict`` (no waiting), or ``block``
+    #: (legacy unbounded queueing — never sheds).
+    shed_policy: str = "bounded"
+    #: Longest accepted request line; anything longer is drained and
+    #: answered with ``bad-request``.
+    max_line_bytes: int = 1 << 20
+
+
+def _oversized_response(limit: int) -> str:
+    obs.count("serving.oversized_lines")
+    return error_line(
+        f"request line exceeds {limit} bytes", "bad-request"
+    )
 
 
 def serve_stdio(
@@ -65,13 +91,32 @@ def serve_stdio(
     """
     served = 0
     obs.count("serving.sessions")
-    for line in in_stream:
-        response, keep_serving = handle_line(
-            engine,
-            line,
-            request_timeout=settings.request_timeout,
-            reloader=settings.reloader,
-        )
+    limit = settings.max_line_bytes
+    while True:
+        line = in_stream.readline(limit)
+        if not line:
+            break
+        if len(line) >= limit and not line.endswith("\n"):
+            # Oversized: drain the rest of the line in bounded chunks,
+            # reject it, keep the session.
+            while True:
+                chunk = in_stream.readline(limit)
+                if not chunk or chunk.endswith("\n"):
+                    break
+            served += 1
+            out_stream.write(_oversized_response(limit) + "\n")
+            out_stream.flush()
+            continue
+        try:
+            response, keep_serving = handle_line(
+                engine,
+                line,
+                request_timeout=settings.request_timeout,
+                reloader=settings.reloader,
+            )
+        except SessionCrash:
+            obs.count("serving.sessions.crashed")
+            break
         if response:
             served += 1
             out_stream.write(response + "\n")
@@ -89,16 +134,33 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         server.register_session(threading.current_thread(), self.connection)
         obs.set_collector(server.collector)
         obs.count("serving.sessions")
+        limit = server.settings.max_line_bytes
         try:
-            for raw in self.rfile:
-                line = raw.decode("utf-8", errors="replace")
-                with server.worker_slots:
-                    response, keep_serving = handle_line(
-                        server.engine,
-                        line,
-                        request_timeout=server.settings.request_timeout,
-                        reloader=server.settings.reloader,
-                    )
+            while True:
+                raw = self.rfile.readline(limit)
+                if not raw:
+                    return
+                if len(raw) >= limit and not raw.endswith(b"\n"):
+                    while True:
+                        chunk = self.rfile.readline(limit)
+                        if not chunk or chunk.endswith(b"\n"):
+                            break
+                    response, keep_serving = _oversized_response(limit), True
+                else:
+                    line = raw.decode("utf-8", errors="replace")
+                    try:
+                        response, keep_serving = handle_line(
+                            server.engine,
+                            line,
+                            request_timeout=server.settings.request_timeout,
+                            reloader=server.settings.reloader,
+                            admission=server.admission,
+                        )
+                    except SessionCrash:
+                        # Injected handler crash: the connection dies
+                        # without a response; the daemon survives.
+                        obs.count("serving.sessions.crashed")
+                        return
                 if response:
                     try:
                         self.wfile.write(response.encode("utf-8") + b"\n")
@@ -127,8 +189,10 @@ class _TcpServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _SessionHandler)
         self.engine = engine
         self.settings = settings
-        self.worker_slots = threading.BoundedSemaphore(
-            max(1, settings.workers)
+        self.admission = AdmissionController(
+            workers=max(1, settings.workers),
+            max_queue=settings.max_queue,
+            shed_policy=settings.shed_policy,
         )
         # Handler threads inherit the collector active at server
         # creation: counters from concurrent sessions all land in the

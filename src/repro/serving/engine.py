@@ -32,6 +32,7 @@ from repro.errors import ParameterError, ReproError
 from repro.graph.adjacency import Graph
 from repro.graph.traversal import component_of
 from repro.resilience import Deadline
+from repro.serving import chaos
 from repro.serving.index import KvccIndex
 
 __all__ = [
@@ -161,6 +162,12 @@ class QueryEngine:
         # (num_vertices, num_edges) of the graph the current index was
         # last fingerprint-verified against; None = not yet verified.
         self._validated: tuple[int, int] | None = None
+        # Monotone generation counter, bumped under the lock on every
+        # index swap (first build, stale rebuild, reload). A reader
+        # that sees version N is guaranteed the whole index is the one
+        # swapped in at N — swaps replace the reference atomically,
+        # never mutate in place.
+        self._version = 1 if index is not None else 0
 
     # -- index management ----------------------------------------------
 
@@ -176,6 +183,11 @@ class QueryEngine:
     @property
     def graph(self) -> Graph | None:
         return self._graph
+
+    @property
+    def version(self) -> int:
+        """The index generation (monotone; bumped on every swap)."""
+        return self._version
 
     def ensure_index(self) -> KvccIndex:
         """The index, building (missing) or rebuilding (stale) as needed.
@@ -198,10 +210,12 @@ class QueryEngine:
                         self._index = KvccIndex.build(
                             self._graph, max_k=self._max_k
                         )
+                        self._version += 1
                         self._cache.clear()
                     self._validated = probe
             if self._index is None:
                 self._index = KvccIndex.build(self._graph, max_k=self._max_k)
+                self._version += 1
                 self._validated = (
                     self._graph.num_vertices,
                     self._graph.num_edges,
@@ -211,19 +225,40 @@ class QueryEngine:
     def reload(self, graph: Graph) -> None:
         """Adopt a fresh copy of the served graph (e.g. re-read from disk).
 
-        Resets the staleness probe so the next query fingerprint-checks
-        the index against the new graph (rebuilding it when the graph
-        actually changed), and conservatively clears the result cache —
-        cached answers are consulted *before* the index, so a stale
-        entry would otherwise outlive the rebuild. Reloads are rare
+        The reload is a **versioned atomic swap**: when the new graph's
+        fingerprint differs from the current index, the replacement
+        index is built *outside* the engine lock — on the reloading
+        thread, while in-flight queries keep riding the old
+        (graph, index, cache) triple — and only the reference swap
+        happens under the lock, together with a cache clear and a
+        version bump. A query therefore observes either the complete
+        old generation or the complete new one, never a half-built
+        mixture; a failed build raises out of here with the old
+        generation still serving and the version untouched.
+
+        The cache is conservatively cleared even for a same-fingerprint
+        reload — cached answers are consulted *before* the index, so a
+        stale entry would otherwise outlive the swap. Reloads are rare
         (mutation events, not queries); the cache re-warms from the
         index at index-lookup cost.
         """
         with self._lock:
+            current = self._index
+            max_k = self._max_k
+        replacement = current
+        if current is None or current.is_stale(graph):
+            if current is not None:
+                obs.count("serving.index.stale_rebuilds")
+            # The expensive part, deliberately outside the lock.
+            replacement = KvccIndex.build(graph, max_k=max_k)
+        chaos.fire("reload.swap")
+        with self._lock:
             obs.count("serving.engine.reloads")
             self._graph = graph
-            self._validated = None
+            self._index = replacement
+            self._validated = (graph.num_vertices, graph.num_edges)
             self._cache.clear()
+            self._version += 1
 
     # -- queries -------------------------------------------------------
 
@@ -244,6 +279,10 @@ class QueryEngine:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         obs.count("serving.queries")
+        # Chaos stage: hang stalls the query (deterministic service
+        # time for calibrated-overload runs), other modes raise
+        # FaultInjected and surface as an `internal` protocol error.
+        chaos.fire("engine.resolve")
         cached = self._cache.get((vertex, k))
         if cached is not None:
             obs.count("serving.cache.hits")
@@ -313,6 +352,7 @@ class QueryEngine:
         """A JSON-able summary for the wire protocol's ``stats`` op."""
         index = self._index
         return {
+            "version": self._version,
             "cache": {
                 "capacity": self._cache.capacity,
                 "entries": len(self._cache),

@@ -22,6 +22,15 @@ Serialisation is a canonical, versioned JSON document
 (``repro.kvcc-index/1``): key order, member order, and separators are
 fixed, so ``save → load → save`` is byte-identical and index files
 diff cleanly. The format is documented in ``docs/serving.md``.
+
+Durability: the document embeds a sha256 ``checksum`` over its core
+payload, :meth:`KvccIndex.save` is atomic (temp file + fsync +
+``os.replace``, so a crash mid-save leaves the previous file intact),
+and :meth:`KvccIndex.load` *quarantines* torn or corrupt files by
+renaming them to ``<path>.corrupt`` and raising
+:class:`~repro.errors.IndexCorruptionError` — a daemon restarting onto
+bad state degrades to a live rebuild instead of crash-looping on the
+same unreadable file.
 """
 
 from __future__ import annotations
@@ -29,12 +38,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import time
 from collections.abc import Hashable
 
 from repro import obs
 from repro.core.hierarchy import kvcc_hierarchy
-from repro.errors import ParameterError, ParseError
+from repro.errors import IndexCorruptionError, ParameterError, ParseError
 from repro.graph.adjacency import Graph
+from repro.resilience.faults import FaultInjected
+from repro.serving import chaos
 
 __all__ = ["INDEX_SCHEMA", "KvccIndex", "graph_fingerprint"]
 
@@ -81,6 +94,12 @@ def graph_fingerprint(graph: Graph) -> str:
         digest.update(json.dumps([u, v]).encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
+
+
+def _payload_checksum(core: dict) -> str:
+    """sha256 hex digest of a core payload's canonical JSON bytes."""
+    serialised = json.dumps(core, separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
 
 
 class KvccIndex:
@@ -267,9 +286,9 @@ class KvccIndex:
 
     # -- serialisation -------------------------------------------------
 
-    def to_json(self) -> str:
-        """Canonical ``repro.kvcc-index/1`` document (stable bytes)."""
-        payload = {
+    def _core_payload(self) -> dict:
+        """The checksummed part of the document, in canonical key order."""
+        return {
             "schema": INDEX_SCHEMA,
             "fingerprint": self._fingerprint,
             "max_k": self._max_k,
@@ -286,7 +305,21 @@ class KvccIndex:
                 for k, components in self._levels.items()
             },
         }
-        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+
+    def to_json(self) -> str:
+        """Canonical ``repro.kvcc-index/1`` document (stable bytes).
+
+        ``checksum`` is the sha256 hex digest of the canonical JSON of
+        everything *except* the checksum itself — a torn or bit-flipped
+        file is detected at load time instead of served as answers.
+        """
+        core = self._core_payload()
+        checksum = _payload_checksum(core)
+        document = {"schema": core["schema"], "checksum": checksum}
+        document.update(
+            (key, value) for key, value in core.items() if key != "schema"
+        )
+        return json.dumps(document, separators=(",", ":"), sort_keys=False)
 
     @classmethod
     def from_json(cls, document: str) -> "KvccIndex":
@@ -302,6 +335,28 @@ class KvccIndex:
                     f"unknown schema {payload.get('schema')!r}, "
                     f"expected {INDEX_SCHEMA!r}"
                 )
+            if "checksum" in payload:
+                core = {
+                    key: payload[key]
+                    for key in (
+                        "schema",
+                        "fingerprint",
+                        "max_k",
+                        "ceiling",
+                        "complete",
+                        "num_vertices",
+                        "num_edges",
+                        "vertices",
+                        "levels",
+                    )
+                }
+                expected = _payload_checksum(core)
+                if payload["checksum"] != expected:
+                    raise ValueError(
+                        f"checksum mismatch: document says "
+                        f"{payload['checksum']!r}, payload hashes to "
+                        f"{expected!r}"
+                    )
             vertices = frozenset(
                 _check_label(v) for v in payload["vertices"]
             )
@@ -344,13 +399,105 @@ class KvccIndex:
         return index
 
     def save(self, path: str | os.PathLike) -> None:
-        """Write the canonical document to ``path`` (newline-terminated)."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Atomically write the canonical document to ``path``.
+
+        The document lands in a same-directory temp file, is fsynced,
+        and is moved into place with ``os.replace`` — so a crash (even
+        SIGKILL) at any instant leaves either the complete old file or
+        the complete new one, never a torn mixture. Stray ``.tmp``
+        files from killed saves are inert and may be deleted.
+        """
+        document = self.to_json() + "\n"
+        payload = document.encode("utf-8")
+        path = os.fspath(path)
+        mode = chaos.draw("index.save")
+        if mode == "raise":
+            raise FaultInjected("injected raise fault at index.save")
+        if mode == "garbage":
+            # Corrupt the payload but still place it atomically: the
+            # file is whole at the filesystem level yet fails its
+            # checksum, exercising the quarantine path on next load.
+            payload = payload[: len(payload) // 2] + b'"bitrot"}\n'
+        directory = os.path.dirname(path) or "."
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory,
+            prefix=os.path.basename(path) + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                if mode == "crash":
+                    # A hard kill mid-write: half the bytes reach the
+                    # temp file, the target is never touched.
+                    handle.write(payload[: len(payload) // 2])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    os._exit(1)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if mode == "hang":
+                time.sleep(chaos.hang_seconds())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        # Persist the rename itself; best-effort — not every platform
+        # or filesystem lets us fsync a directory.
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+        obs.count("serving.index.saves")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "KvccIndex":
-        """Read an index saved by :meth:`save`."""
+        """Read an index saved by :meth:`save`.
+
+        A file that fails parsing or its checksum is *quarantined*:
+        renamed to ``<path>.corrupt`` (so the next startup does not
+        trip over it again) and reported via
+        :class:`~repro.errors.IndexCorruptionError`. A missing file
+        raises plain :class:`FileNotFoundError` — absence is not
+        corruption.
+        """
+        path = os.fspath(path)
+        mode = chaos.draw("index.load")
+        if mode == "hang":
+            time.sleep(chaos.hang_seconds())
+        elif mode == "crash":
+            os._exit(1)
+        elif mode == "raise":
+            raise FaultInjected("injected raise fault at index.load")
+        elif mode == "garbage":
+            # Simulated integrity failure: report corruption without
+            # quarantining the (actually intact) file on disk.
+            raise IndexCorruptionError(
+                f"injected integrity failure loading {path}",
+                quarantine=None,
+            )
         with open(path, encoding="utf-8") as handle:
-            return cls.from_json(handle.read())
+            document = handle.read()
+        try:
+            index = cls.from_json(document)
+        except ParseError as exc:
+            quarantine: str | None = f"{path}.corrupt"
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = None
+            obs.count("serving.index.quarantined")
+            raise IndexCorruptionError(
+                f"corrupt index at {path}: {exc}", quarantine=quarantine
+            ) from exc
+        obs.count("serving.index.loads")
+        return index

@@ -23,9 +23,19 @@ Operations (the ``"op"`` field):
 
 Every response carries ``"ok"``; errors add ``"error"`` (a message)
 and ``"code"`` (machine-readable: ``parse``, ``bad-request``,
-``unknown-vertex``, ``unsupported-op``, ``deadline``, ``internal``).
-An ``"id"`` field, when present in a request, is echoed verbatim so
-pipelined clients can match responses.
+``unknown-vertex``, ``unsupported-op``, ``deadline``, ``overloaded``,
+``internal``). An ``"id"`` field, when present in a request, is echoed
+verbatim so pipelined clients can match responses.
+
+``overloaded`` is the load-shedding error: when the daemon's
+:class:`~repro.serving.admission.AdmissionController` is saturated the
+request is refused *immediately* instead of queueing without bound.
+The response additionally carries ``"retriable": true`` and
+``"retry_after_ms"`` (a backoff hint derived from the op's observed
+service time and the current backlog); well-behaved clients retry
+after roughly that long with jitter. Control ops (``ping``, ``stats``,
+``shutdown``) bypass admission so an overloaded daemon can still be
+inspected and stopped.
 
 This module is pure request → response logic
 (:func:`handle_request` / :func:`handle_line`); the socket and stdio
@@ -35,13 +45,16 @@ plumbing lives in :mod:`repro.serving.daemon`.
 from __future__ import annotations
 
 import json
+import time
 
 from repro import obs
 from repro.errors import ParameterError, ReproError
 from repro.resilience import Deadline
+from repro.serving import chaos
+from repro.serving.admission import AdmissionController, cost_class
 from repro.serving.engine import BatchDeadlineExpired, QueryEngine, QueryResult
 
-__all__ = ["PROTOCOL", "handle_line", "handle_request"]
+__all__ = ["PROTOCOL", "error_line", "handle_line", "handle_request"]
 
 #: Protocol identifier reported by ``ping`` and rejected-by clients on
 #: incompatible changes.
@@ -71,7 +84,18 @@ def _encode_result(result: QueryResult) -> dict:
 
 def _error(message: str, code: str) -> dict:
     obs.count("serving.errors")
+    obs.count(f"serving.errors.{code}")
     return {"ok": False, "error": message, "code": code}
+
+
+def _overloaded(klass: str, admission: AdmissionController) -> dict:
+    response = _error(
+        f"overloaded: no capacity for a {klass} request, retry later",
+        "overloaded",
+    )
+    response["retriable"] = True
+    response["retry_after_ms"] = admission.retry_after_ms(klass)
+    return response
 
 
 def _parse_query(doc: dict) -> tuple:
@@ -104,6 +128,7 @@ def handle_request(
     *,
     deadline: Deadline | None = None,
     reloader=None,
+    admission: AdmissionController | None = None,
 ) -> tuple[dict, bool]:
     """Answer one decoded request; returns ``(response, keep_serving)``.
 
@@ -113,6 +138,13 @@ def handle_request(
     the completed prefix of a batch. ``reloader`` is a zero-argument
     callable returning a fresh :class:`~repro.graph.adjacency.Graph`
     for the ``reload`` op (None = the op is unsupported).
+
+    ``admission`` is the daemon's shared
+    :class:`~repro.serving.admission.AdmissionController` (None = no
+    admission control, e.g. direct library use). Work-carrying ops
+    (``query``/``batch``/``reload``) are classed by cost and admitted
+    through it; a shed request gets the ``overloaded`` error with its
+    ``retry_after_ms`` hint and the engine is never touched.
     """
     op = request.get("op")
     if op not in _OPS:
@@ -123,15 +155,28 @@ def handle_request(
         return response, True
     obs.count("serving.requests")
     obs.count(f"serving.requests.{op}")
+    ticket = None
+    if admission is not None:
+        klass = cost_class(request)
+        if klass is not None:
+            ticket = admission.admit(klass)
+            if ticket is None:
+                response = _overloaded(klass, admission)
+                if "id" in request:
+                    response["id"] = request["id"]
+                return response, True
     keep_serving = True
     try:
         if op == "ping":
             response = {"ok": True, "op": "ping", "protocol": PROTOCOL}
         elif op == "stats":
+            stats = engine.stats()
+            if admission is not None:
+                stats["admission"] = admission.stats()
             response = {
                 "ok": True,
                 "op": "stats",
-                "stats": engine.stats(),
+                "stats": stats,
                 "counters": _serving_counters(),
             }
         elif op == "reload":
@@ -185,11 +230,21 @@ def handle_request(
             else "bad-request"
         )
         response = _error(str(exc), code)
-    except ReproError as exc:  # pragma: no cover - defensive
+    except ReproError as exc:
         response = _error(str(exc), "internal")
+    finally:
+        if ticket is not None:
+            ticket.release()
     if "id" in request:
         response["id"] = request["id"]
     return response, keep_serving
+
+
+def error_line(message: str, code: str) -> str:
+    """A serialised error response line, for transport-level rejections
+    (e.g. the daemon refusing an oversized request line) that never
+    reach :func:`handle_line`."""
+    return json.dumps(_error(message, code), separators=(",", ":"))
 
 
 def _as_dicts(queries: list) -> list[dict]:
@@ -207,16 +262,38 @@ def handle_line(
     *,
     request_timeout: float | None = None,
     reloader=None,
+    admission: AdmissionController | None = None,
 ) -> tuple[str, bool]:
     """Decode one request line, answer it, encode one response line.
 
     A fresh per-request :class:`Deadline` is armed from
     ``request_timeout`` (``None`` = unbounded). Malformed JSON gets a
     ``parse`` error response instead of killing the session.
+
+    This is also the ``serve.handle`` chaos stage: ``crash`` raises
+    :class:`~repro.serving.chaos.SessionCrash` (the caller must close
+    the connection without responding), ``raise`` answers an
+    ``internal`` error, ``garbage`` answers an undecodable line, and
+    ``hang`` stalls before handling.
     """
     line = line.strip()
     if not line:
         return "", True
+    mode = chaos.draw("serve.handle")
+    if mode == "crash":
+        raise chaos.SessionCrash("injected crash fault at serve.handle")
+    if mode == "hang":
+        time.sleep(chaos.hang_seconds())
+    elif mode == "raise":
+        return (
+            json.dumps(
+                _error("injected raise fault at serve.handle", "internal"),
+                separators=(",", ":"),
+            ),
+            True,
+        )
+    elif mode == "garbage":
+        return '{"ok":tru', True
     try:
         request = json.loads(line)
         if not isinstance(request, dict):
@@ -233,6 +310,10 @@ def handle_line(
         Deadline(request_timeout) if request_timeout is not None else None
     )
     response, keep_serving = handle_request(
-        engine, request, deadline=deadline, reloader=reloader
+        engine,
+        request,
+        deadline=deadline,
+        reloader=reloader,
+        admission=admission,
     )
     return json.dumps(response, separators=(",", ":")), keep_serving

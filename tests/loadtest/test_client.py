@@ -1,0 +1,167 @@
+"""The client's shed classification, retry budget, and backoff."""
+
+import json
+import random
+import socket
+import threading
+import time
+
+from repro.loadtest.client import (
+    _classify,
+    _Connection,
+    _retriable,
+    request_once,
+    request_with_retries,
+)
+from repro.loadtest.run_table import Sample
+from repro.loadtest.scenario import Scenario
+from repro.loadtest.workload import Request
+
+POINT = Request(offset_s=0.0, kind="point", payload={"op": "query",
+                                                     "v": 0, "k": 2})
+
+OVERLOADED = json.dumps(
+    {
+        "ok": False,
+        "error": "overloaded",
+        "code": "overloaded",
+        "retriable": True,
+        "retry_after_ms": 10,
+    }
+)
+OK = json.dumps({"ok": True, "op": "query", "components": [[0, 1]]})
+
+
+def _scenario(**overrides):
+    kwargs = dict(
+        name="unit",
+        mix=(("point", 1.0),),
+        offered_rps=10.0,
+        duration_s=1.0,
+        warmup_s=0.1,
+        retry_budget=3,
+        backoff_base_ms=1.0,
+        backoff_cap_ms=4.0,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+def _script_server(responses: list[str]):
+    """A one-connection server answering each request line from a
+    script (empty string = hang up instead of answering)."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    address = listener.getsockname()
+
+    def run():
+        conn, _ = listener.accept()
+        stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+        for scripted in responses:
+            if not stream.readline():
+                break
+            if not scripted:
+                break
+            stream.write(scripted + "\n")
+            stream.flush()
+        conn.close()
+        listener.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return address, thread
+
+
+class TestClassify:
+    def test_overloaded_is_shed_with_the_hint(self):
+        sample, hint = _classify(POINT, OVERLOADED)
+        assert sample.outcome == "shed"
+        assert sample.code == "overloaded"
+        assert hint == 10.0
+
+    def test_overloaded_sheds_even_expected_error_probes(self):
+        probe = Request(
+            offset_s=0.0,
+            kind="unknown",
+            payload={"op": "query", "v": 10**9, "k": 2},
+            expect="unknown-vertex",
+        )
+        sample, _ = _classify(probe, OVERLOADED)
+        assert sample.outcome == "shed"
+
+    def test_ok_and_expected_error_still_classify(self):
+        sample, hint = _classify(POINT, OK)
+        assert sample.outcome == "ok" and hint is None
+
+
+class TestRetriable:
+    def _sample(self, outcome, code=""):
+        return Sample("point", 0.0, 1.0, outcome, code=code)
+
+    def test_shed_dropped_and_undecodable_are_retriable(self):
+        assert _retriable(self._sample("shed", "overloaded"))
+        assert _retriable(self._sample("connection-refused", "eof"))
+        assert _retriable(self._sample("protocol-error", "undecodable"))
+
+    def test_timeouts_and_real_errors_are_not(self):
+        assert not _retriable(self._sample("deadline", "client-timeout"))
+        assert not _retriable(self._sample("protocol-error", "internal"))
+        assert not _retriable(self._sample("ok"))
+
+
+class TestRetries:
+    def test_shed_then_ok_succeeds_with_one_retry(self):
+        address, thread = _script_server([OVERLOADED, OK])
+        connection = _Connection(address)
+        sample = request_with_retries(
+            connection,
+            POINT,
+            time.monotonic(),
+            _scenario(),
+            random.Random(7),
+        )
+        connection.close()
+        thread.join(timeout=10)
+        assert sample.outcome == "ok"
+        assert sample.retries == 1
+
+    def test_budget_exhaustion_keeps_the_shed_outcome(self):
+        address, thread = _script_server([OVERLOADED] * 4)
+        connection = _Connection(address)
+        sample = request_with_retries(
+            connection,
+            POINT,
+            time.monotonic(),
+            _scenario(retry_budget=3),
+            random.Random(7),
+        )
+        connection.close()
+        thread.join(timeout=10)
+        assert sample.outcome == "shed"
+        assert sample.retries == 3
+
+    def test_zero_budget_never_retries(self):
+        address, thread = _script_server([OVERLOADED, OK])
+        connection = _Connection(address)
+        sample = request_once(connection, POINT, time.monotonic())
+        connection.close()
+        thread.join(timeout=10)
+        assert sample.outcome == "shed"
+        assert sample.retries == 0
+
+    def test_latency_charges_the_backoff_to_the_schedule(self):
+        # Scheduled "in the past": the final latency must cover the
+        # whole shed + backoff + retry interval, open-loop style.
+        address, thread = _script_server([OVERLOADED, OK])
+        connection = _Connection(address)
+        scheduled_at = time.monotonic()
+        sample = request_with_retries(
+            connection,
+            POINT,
+            scheduled_at,
+            _scenario(backoff_base_ms=20.0, backoff_cap_ms=20.0),
+            random.Random(7),
+        )
+        connection.close()
+        thread.join(timeout=10)
+        assert sample.outcome == "ok"
+        assert sample.latency_ms >= 10.0  # at least the jittered wait

@@ -115,6 +115,7 @@ class TestTaxonomy:
             "deadline",
             "protocol-error",
             "connection-refused",
+            "shed",
         )
 
 

@@ -136,6 +136,8 @@ class TestValidation:
             "errors",
             "storm",
             "smoke",
+            "degrade",
+            "chaos",
         }
         smoke = get_scenario("smoke")
         assert "storm" not in {kind for kind, _ in smoke.mix}

@@ -276,6 +276,47 @@ class TestServeCommand:
         assert main(["serve", "--index", str(tmp_path / "nope.json")]) == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_serve_corrupt_index_degrades_with_graph(
+        self, edge_list, tmp_path, monkeypatch, capsys
+    ):
+        index_path = tmp_path / "graph.idx.json"
+        assert main(["index", "build", edge_list,
+                     "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        document = index_path.read_text(encoding="utf-8")
+        index_path.write_text(document[: len(document) // 2],
+                              encoding="utf-8")
+        code, responses, err = self._serve(
+            monkeypatch, capsys,
+            ["serve", "--graph", edge_list, "--index", str(index_path)],
+            ['{"op":"query","v":0,"k":3}'],
+        )
+        assert code == 0
+        assert "warning" in err and "build-on-first-use" in err
+        assert responses[0]["ok"]
+        # The damaged artifact was quarantined, not left in place.
+        assert not index_path.exists()
+        assert (tmp_path / "graph.idx.json.corrupt").exists()
+
+    def test_serve_corrupt_index_without_graph_errors(
+        self, edge_list, tmp_path, capsys
+    ):
+        index_path = tmp_path / "graph.idx.json"
+        assert main(["index", "build", edge_list,
+                     "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        index_path.write_text("{torn", encoding="utf-8")
+        assert main(["serve", "--index", str(index_path)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_serve_admission_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g.txt", "--max-queue", "8",
+             "--shed-policy", "strict"]
+        )
+        assert args.max_queue == 8
+        assert args.shed_policy == "strict"
+
     def test_serve_needs_a_source(self, capsys):
         assert main(["serve"]) == 2
         assert "needs --graph" in capsys.readouterr().err
@@ -294,6 +335,15 @@ class TestLoadtestCommand:
         assert args.scenarios == ["point", "storm"]
         assert args.rate == 25.0
         assert args.arrival == "uniform"
+
+    def test_loadtest_robustness_flags_parse(self):
+        args = build_parser().parse_args(
+            ["loadtest", "g.txt", "--retry-budget", "3",
+             "--daemon-max-queue", "16", "--daemon-shed-policy", "bounded"]
+        )
+        assert args.retry_budget == 3
+        assert args.daemon_max_queue == 16
+        assert args.daemon_shed_policy == "bounded"
 
     def test_unknown_scenario_is_reported(self, edge_list, tmp_path,
                                           capsys):
