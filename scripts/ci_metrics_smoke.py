@@ -1,0 +1,186 @@
+"""CI metrics smoke: scrape ``/metrics`` mid-run and validate it.
+
+Usage:
+    PYTHONPATH=src python scripts/ci_metrics_smoke.py --graph FILE
+        [--artifacts DIR] [--requests N] [-k K]
+
+Spawns a ``ripple serve --tcp`` daemon with ``--metrics-port 0`` and
+``--access-log``, drives point queries at it, and — while load is
+still in flight — scrapes the Prometheus endpoint and checks that:
+
+* the whole exposition parses under the text-format v0.0.4 grammar
+  with no duplicate metric families or samples
+  (:func:`repro.serving.metrics.validate_exposition`);
+* the required families are present with the right types:
+  ``serving_requests_total`` (counter), per-class
+  ``serving_queue_depth`` (gauge), and the ``serving_handle_seconds``
+  histogram;
+* the JSONL access log holds one complete record per request, and
+  client-supplied ``request_id`` values round-tripped unmodified.
+
+The scraped exposition is saved to ``<artifacts>/metrics.txt`` and the
+access log to ``<artifacts>/metrics_access.jsonl`` so the CI artifact
+upload preserves both for autopsy. Exit 0 on success, 1 on any
+violation (with the reason on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.loadtest.harness import DaemonProcess, ask  # noqa: E402
+from repro.serving.metrics import validate_exposition  # noqa: E402
+
+#: Family -> declared type the exposition must contain (the acceptance
+#: floor; the full catalogue lives in docs/observability.md).
+REQUIRED_FAMILIES = {
+    "serving_requests_total": "counter",
+    "serving_queue_depth": "gauge",
+    "serving_handle_seconds": "histogram",
+}
+
+#: Keys every access-log record must carry.
+REQUIRED_LOG_KEYS = ("ts", "request_id", "op", "outcome", "handle_ms")
+
+
+def _fail(message: str) -> int:
+    print(f"ci_metrics_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _drive(address, count: int, k: int, offset: int, errors: list) -> None:
+    for i in range(count):
+        request_id = f"ci-{offset + i:05d}"
+        try:
+            response = ask(
+                address,
+                {"op": "query", "v": 0, "k": k, "request_id": request_id},
+            )
+        except (OSError, ValueError) as exc:
+            errors.append(f"{request_id}: {exc}")
+            return
+        if response.get("request_id") != request_id:
+            errors.append(
+                f"{request_id}: response echoed "
+                f"{response.get('request_id')!r}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--graph", required=True, help="edge-list file")
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=Path("load-artifacts"),
+        help="directory for metrics.txt / metrics_access.jsonl",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="total queries to fire"
+    )
+    parser.add_argument("-k", type=int, default=4, help="query k")
+    args = parser.parse_args(argv)
+
+    args.artifacts.mkdir(parents=True, exist_ok=True)
+    access_path = args.artifacts / "metrics_access.jsonl"
+    access_path.write_text("", encoding="utf-8")
+
+    daemon = DaemonProcess(
+        args.graph, access_log=access_path, metrics_port=0
+    )
+    errors: list[str] = []
+    try:
+        address = daemon.start()
+        # The metrics announce line follows the listening line; give
+        # the stderr drain a moment to parse it.
+        deadline = time.monotonic() + 10.0
+        while daemon.metrics_address is None:
+            if time.monotonic() > deadline:
+                return _fail(
+                    "daemon never announced a metrics address; stderr: "
+                    + " | ".join(daemon.stderr_lines[-5:])
+                )
+            time.sleep(0.05)
+        host, port = daemon.metrics_address
+        url = f"http://{host}:{port}/metrics"
+
+        # Warm the surfaces synchronously, then scrape *mid-run* with
+        # the second half of the load still in flight.
+        first_half = args.requests // 2
+        _drive(address, first_half, args.k, 0, errors)
+        driver = threading.Thread(
+            target=_drive,
+            args=(address, args.requests - first_half, args.k, first_half,
+                  errors),
+            name="ci-metrics-driver",
+        )
+        driver.start()
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                content_type = response.headers.get("Content-Type", "")
+                text = response.read().decode("utf-8")
+        finally:
+            driver.join(timeout=120)
+        (args.artifacts / "metrics.txt").write_text(text, encoding="utf-8")
+    finally:
+        daemon.stop()
+
+    if errors:
+        return _fail(
+            f"{len(errors)} request failure(s): " + "; ".join(errors[:3])
+        )
+    if "version=0.0.4" not in content_type:
+        return _fail(f"unexpected Content-Type {content_type!r}")
+    try:
+        declared = validate_exposition(text)
+    except Exception as exc:
+        return _fail(f"exposition failed the grammar check: {exc}")
+    for family, kind in REQUIRED_FAMILIES.items():
+        if declared.get(family) != kind:
+            return _fail(
+                f"metric family {family!r} must be declared as {kind!r}, "
+                f"got {declared.get(family)!r}"
+            )
+    if 'serving_queue_depth{class="point"}' not in text:
+        return _fail("serving_queue_depth carries no per-class samples")
+
+    records = [
+        json.loads(line)
+        for line in access_path.read_text(encoding="utf-8").splitlines()
+    ]
+    queries = [r for r in records if r.get("op") == "query"]
+    if len(queries) < args.requests:
+        return _fail(
+            f"access log holds {len(queries)} query records, "
+            f"expected {args.requests}"
+        )
+    for record in records:
+        missing = [key for key in REQUIRED_LOG_KEYS if key not in record]
+        if missing:
+            return _fail(f"access record missing {missing}: {record}")
+    echoed = {r["request_id"] for r in queries}
+    expected = {f"ci-{i:05d}" for i in range(args.requests)}
+    if not expected <= echoed:
+        return _fail(
+            f"{len(expected - echoed)} client request ids never appeared "
+            f"in the access log"
+        )
+
+    print(
+        f"ci_metrics_smoke: OK — {len(declared)} metric families "
+        f"validated mid-run, {len(records)} access records with "
+        f"round-tripped request ids"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

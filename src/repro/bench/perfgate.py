@@ -333,6 +333,8 @@ def compare_load_table(rows, gate: dict) -> dict:
     max_shed_rate = gate.get("max_shed_rate")
     min_shed_rate = gate.get("min_shed_rate")
     max_internal_errors = gate.get("max_internal_errors")
+    server_p95_tolerance = gate.get("server_p95_tolerance")
+    server_p95_slack_ms = float(gate.get("server_p95_slack_ms", 0.0))
     judged = [
         row
         for row in rows
@@ -400,6 +402,41 @@ def compare_load_table(rows, gate: dict) -> dict:
                 f"{float(min_shed_rate):.4f} — overload did not shed "
                 f"(silent queueing?)"
             )
+        # The telemetry cross-check: the daemon's own
+        # serving.handle_seconds histogram p95 over the measurement
+        # window must agree with the client-observed p95. Relative
+        # tolerance covers histogram bucket granularity (bucket edges
+        # are a fixed 2^(1/4) ratio apart) plus the client-side
+        # scheduling delay the server never sees; the absolute slack
+        # is latency-shaped, so it scales with the row's calibration
+        # like the p95 ceiling does.
+        server_p95 = getattr(row, "server_p95_ms", float("nan"))
+        if server_p95_tolerance is not None:
+            allowed_gap = (
+                row.p95_latency_ms * float(server_p95_tolerance)
+                + server_p95_slack_ms * slowness
+            )
+            if server_p95 != server_p95:  # NaN: window never captured
+                verdict = (
+                    "SERVERP95" if verdict == "ok"
+                    else verdict + "+SERVERP95"
+                )
+                failures.append(
+                    f"{label}: server_p95_ms missing — daemon stats "
+                    f"histograms were not captured, so the telemetry "
+                    f"cross-check cannot run"
+                )
+            elif abs(server_p95 - row.p95_latency_ms) > allowed_gap:
+                verdict = (
+                    "SERVERP95" if verdict == "ok"
+                    else verdict + "+SERVERP95"
+                )
+                failures.append(
+                    f"{label}: server p95 {server_p95:.3f}ms vs client "
+                    f"p95 {row.p95_latency_ms:.3f}ms — gap exceeds "
+                    f"{float(server_p95_tolerance):.0%} + "
+                    f"{server_p95_slack_ms * slowness:.3f}ms slack"
+                )
         internal = getattr(row, "serving_internal_errors", 0)
         if (
             max_internal_errors is not None
@@ -415,6 +452,7 @@ def compare_load_table(rows, gate: dict) -> dict:
                 label,
                 f"{row.achieved_rps:.1f}/{required_rps:.1f}",
                 f"{row.p95_latency_ms:.2f}/{allowed_p95:.2f}",
+                "-" if server_p95 != server_p95 else f"{server_p95:.2f}",
                 f"{row.failure_rate:.4f}",
                 f"{shed_rate:.4f}",
                 f"{slowness:.2f}x",
@@ -432,8 +470,8 @@ def render_load_report(verdict: dict) -> str:
         render_table(
             "Load gate: achieved/floor rps, p95/ceiling ms "
             "(calibration-adjusted)",
-            ["run", "rps", "p95 ms", "fail rate", "shed rate", "slowness",
-             "verdict"],
+            ["run", "rps", "p95 ms", "srv p95", "fail rate", "shed rate",
+             "slowness", "verdict"],
             verdict["rows"],
         )
     ]

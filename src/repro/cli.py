@@ -326,6 +326,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap for an index built on first use (default: exhaustive)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve Prometheus text exposition on "
+        "http://127.0.0.1:PORT/metrics (0 picks a free port; see "
+        "docs/observability.md for the metric catalogue)",
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="append one JSONL record per request (id, op, class, "
+        "outcome, queue/service/handle ms, cache tier, shed reason)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live console view of a running serve daemon "
+        "(rps, shed, queue depths, handle-time tails)",
+    )
+    top.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="a running `ripple serve --tcp` daemon",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between stats polls (default 2)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -409,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--request-timeout", type=float, metavar="SECONDS",
         help="per-request deadline inside the daemon",
+    )
+    loadtest.add_argument(
+        "--daemon-access-log", metavar="PATH",
+        help="daemon-side JSONL access log (one record per request; "
+        "joins client-observed failures to server-side decisions by "
+        "request_id)",
+    )
+    loadtest.add_argument(
+        "--daemon-metrics-port", type=int, metavar="PORT",
+        help="expose the daemon's /metrics endpoint during the run "
+        "(0 picks a free port, printed to stderr)",
     )
     loadtest.add_argument(
         "--deadline", type=float, metavar="SECONDS",
@@ -635,6 +683,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving import (
         KvccIndex,
+        MetricsServer,
         QueryEngine,
         ServeSettings,
         serve_stdio,
@@ -684,6 +733,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_queue=args.max_queue,
         shed_policy=args.shed_policy,
+        access_log=args.access_log,
         # The reload op re-reads the served file, so a load-test (or
         # operator) can mutate the graph on disk and storm the stale
         # detector without restarting the daemon.
@@ -722,22 +772,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 background=True,
             )
             bound_host, bound_port = handle.address
+            metrics = None
+            if args.metrics_port is not None:
+                metrics = MetricsServer(
+                    collector=obs.get_collector(),
+                    admission=handle.admission,
+                    engine=engine,
+                    started_at=handle.context.started_at,
+                    port=args.metrics_port,
+                ).start()
             print(
                 f"ripple serve: listening on {bound_host}:{bound_port} "
                 f"(Ctrl-C to stop)",
                 file=sys.stderr,
                 flush=True,
             )
+            if metrics is not None:
+                print(
+                    f"ripple serve: metrics on {metrics.url}",
+                    file=sys.stderr,
+                    flush=True,
+                )
             try:
                 threading.Event().wait()
             finally:
+                if metrics is not None:
+                    metrics.stop()
                 handle.stop()
             return 0
-        served = serve_stdio(
-            engine, settings, in_stream=sys.stdin, out_stream=sys.stdout
-        )
+        metrics = None
+        if args.metrics_port is not None:
+            metrics = MetricsServer(
+                collector=obs.get_collector(),
+                engine=engine,
+                port=args.metrics_port,
+            ).start()
+            print(
+                f"ripple serve: metrics on {metrics.url}",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            served = serve_stdio(
+                engine, settings, in_stream=sys.stdin, out_stream=sys.stdout
+            )
+        finally:
+            if metrics is not None:
+                metrics.stop()
     print(f"ripple serve: session over, {served} request(s)", file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serving.top import run_top
+
+    host, _, port_text = args.address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: expected HOST:PORT, got {args.address!r}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    return run_top(
+        (host or "127.0.0.1", port),
+        interval=args.interval,
+        count=args.count,
+    )
 
 
 def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
@@ -799,6 +901,8 @@ def _cmd_loadtest(args: argparse.Namespace, runinfo: dict) -> int:
             deadline=deadline,
             daemon_max_queue=args.daemon_max_queue,
             daemon_shed_policy=args.daemon_shed_policy,
+            daemon_access_log=args.daemon_access_log,
+            daemon_metrics_port=args.daemon_metrics_port,
         )
         rows.extend(outcome.rows)
         for repetition, samples in sorted(outcome.samples.items()):
@@ -945,6 +1049,8 @@ def _dispatch(args: argparse.Namespace, runinfo: dict) -> int:
         return _cmd_index(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args, runinfo)
     return _cmd_bench(args)

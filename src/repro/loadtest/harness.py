@@ -6,12 +6,16 @@ One :func:`run_scenario` call is one run: per repetition it
    across repetitions), spawns a fresh ``ripple serve --tcp`` daemon
    subprocess, and waits for its "listening on" line to learn the
    ephemeral port;
-2. snapshots the daemon's ``serving.*`` counters (``stats`` op),
-   starts the ``/proc`` resource monitor, and fires the scenario's
-   precomputed open-loop schedule at it;
-3. snapshots counters again, folds samples + counter deltas + CPU/RSS
-   into one :class:`~repro.loadtest.run_table.RunRow`, and appends the
-   raw samples to the run's JSONL;
+2. snapshots the daemon's ``serving.*`` counters and histograms
+   (``stats`` op), starts the ``/proc`` resource monitor, and fires
+   the scenario's precomputed open-loop schedule at it — taking one
+   more ``stats`` snapshot mid-run at the warmup boundary so the
+   server-side view of the *measurement window* can be isolated;
+3. snapshots stats again, folds samples + counter deltas + CPU/RSS +
+   the server-observed handle-time p95 (``serving.handle_seconds``
+   histogram delta over the measurement window) into one
+   :class:`~repro.loadtest.run_table.RunRow`, and appends the raw
+   samples to the run's JSONL;
 4. tears the daemon down — cooperatively on a clean run, immediately
    when the harness :class:`~repro.resilience.Deadline` expires.
 
@@ -34,6 +38,7 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list
+from repro.obs.histogram import Histogram, subtract_snapshots
 from repro.loadtest import client as loadclient
 from repro.loadtest.monitor import ResourceMonitor
 from repro.loadtest.run_table import RunRow, Sample, aggregate
@@ -44,6 +49,7 @@ from repro.resilience import Deadline
 __all__ = ["DaemonProcess", "LoadTestError", "RunOutcome", "run_scenario"]
 
 _LISTENING = re.compile(r"listening on ([0-9.]+):(\d+)")
+_METRICS = re.compile(r"metrics on http://([0-9.]+):(\d+)")
 
 
 class LoadTestError(ReproError):
@@ -70,6 +76,8 @@ class DaemonProcess:
         max_k: int | None = None,
         max_queue: int | None = None,
         shed_policy: str | None = None,
+        access_log: str | os.PathLike | None = None,
+        metrics_port: int | None = None,
         extra_env: dict[str, str] | None = None,
     ) -> None:
         self.graph_path = os.fspath(graph_path)
@@ -82,12 +90,20 @@ class DaemonProcess:
         self.max_k = max_k
         self.max_queue = max_queue
         self.shed_policy = shed_policy
+        self.access_log = (
+            os.fspath(access_log) if access_log is not None else None
+        )
+        self.metrics_port = metrics_port
         #: Extra environment for the daemon subprocess — e.g. a
         #: ``REPRO_FAULT`` plan arming serving-stage chaos in the
         #: daemon only, not the harness (the subprocess otherwise
         #: inherits the caller's whole environment).
         self.extra_env = dict(extra_env) if extra_env else {}
         self.address: tuple[str, int] | None = None
+        #: The daemon's ``/metrics`` listener address, parsed from its
+        #: announce line (None until announced / without
+        #: ``metrics_port``).
+        self.metrics_address: tuple[str, int] | None = None
         self.stderr_lines: list[str] = []
         self._process: subprocess.Popen | None = None
         self._drain: threading.Thread | None = None
@@ -126,6 +142,10 @@ class DaemonProcess:
             command += ["--max-queue", str(self.max_queue)]
         if self.shed_policy is not None:
             command += ["--shed-policy", self.shed_policy]
+        if self.access_log is not None:
+            command += ["--access-log", self.access_log]
+        if self.metrics_port is not None:
+            command += ["--metrics-port", str(self.metrics_port)]
         return command
 
     def start(self, timeout_s: float = 30.0) -> tuple[str, int]:
@@ -165,6 +185,13 @@ class DaemonProcess:
         assert self._process is not None and self._process.stderr is not None
         for line in self._process.stderr:
             self.stderr_lines.append(line.rstrip("\n"))
+            if self.metrics_address is None:
+                match = _METRICS.search(line)
+                if match:
+                    self.metrics_address = (
+                        match.group(1),
+                        int(match.group(2)),
+                    )
             if self.address is None:
                 match = _LISTENING.search(line)
                 if match:
@@ -205,9 +232,9 @@ def ask(address: tuple[str, int], payload: dict, timeout_s: float = 10.0):
         return json.loads(stream.readline())
 
 
-def _serving_counters(address: tuple[str, int]) -> dict:
-    response = ask(address, {"op": "stats"})
-    return response.get("counters", {}) or {}
+def _serving_stats(address: tuple[str, int]) -> dict:
+    """One full ``stats`` response (counters + histogram snapshots)."""
+    return ask(address, {"op": "stats"})
 
 
 def _counter_delta(before: dict, after: dict) -> dict:
@@ -215,6 +242,46 @@ def _counter_delta(before: dict, after: dict) -> dict:
         name: after.get(name, 0) - before.get(name, 0)
         for name in set(before) | set(after)
     }
+
+
+#: Histogram family backing the ``server_p95_ms`` cross-check column.
+_HANDLE_FAMILY = "serving.handle_seconds"
+
+
+def _merged_handle(stats: dict) -> Histogram:
+    """Merge the per-class handle-time histograms of one stats snapshot.
+
+    The ``control`` class (stats/reload/shutdown ops — including the
+    harness's own snapshot requests) is excluded: the client-side p95
+    this column cross-checks only ever measures scheduled workload
+    requests.
+    """
+    merged = Histogram()
+    prefix = _HANDLE_FAMILY + "."
+    for name, snapshot in (stats.get("histograms") or {}).items():
+        if name == _HANDLE_FAMILY or (
+            name.startswith(prefix) and name != prefix + "control"
+        ):
+            merged.merge(snapshot)
+    return merged
+
+
+def _server_window(window_start: dict, after: dict) -> tuple[float, int]:
+    """``(server_p95_ms, server_shed)`` between two stats snapshots."""
+    handle = subtract_snapshots(
+        _merged_handle(after).to_snapshot(),
+        _merged_handle(window_start).to_snapshot(),
+    )
+    p95_ms = (
+        handle.quantile(0.95) * 1000.0
+        if not handle.is_empty()
+        else float("nan")
+    )
+    shed = _counter_delta(
+        window_start.get("counters", {}) or {},
+        after.get("counters", {}) or {},
+    ).get("serving.shed", 0)
+    return p95_ms, max(0, shed)
 
 
 @dataclass
@@ -241,6 +308,8 @@ def run_scenario(
     monitor_pid: int | None = None,
     daemon_max_queue: int | None = None,
     daemon_shed_policy: str | None = None,
+    daemon_access_log: str | os.PathLike | None = None,
+    daemon_metrics_port: int | None = None,
     daemon_env: dict[str, str] | None = None,
 ) -> RunOutcome:
     """Run every repetition of one scenario; returns rows + raw samples.
@@ -253,7 +322,11 @@ def run_scenario(
     ``os.getpid()`` for an in-process ``serve_tcp``).
 
     ``daemon_max_queue``/``daemon_shed_policy`` forward to the spawned
-    daemon's admission controller; ``daemon_env`` adds environment for
+    daemon's admission controller; ``daemon_access_log`` and
+    ``daemon_metrics_port`` forward the telemetry flags (the access
+    log is opened in append mode, so every repetition's fresh daemon
+    extends the same JSONL; both are ignored when driving an external
+    ``address``); ``daemon_env`` adds environment for
     the daemon subprocess only (e.g. a ``REPRO_FAULT`` chaos plan —
     each repetition's fresh daemon re-arms the plan from scratch). A
     spawned daemon that *dies* mid-run raises :class:`LoadTestError`
@@ -292,6 +365,8 @@ def run_scenario(
                     max_k=scenario.max_k,
                     max_queue=daemon_max_queue,
                     shed_policy=daemon_shed_policy,
+                    access_log=daemon_access_log,
+                    metrics_port=daemon_metrics_port,
                     extra_env=daemon_env,
                 )
                 target = daemon.start()
@@ -299,17 +374,40 @@ def run_scenario(
             else:
                 target = address
                 pid = monitor_pid
-            counters_before = _serving_counters(target)
+            stats_before = _serving_stats(target)
             monitor = (
                 ResourceMonitor(pid).start() if pid is not None else None
             )
-            samples, start = loadclient.drive(
-                target,
-                schedule,
-                reseeded,
-                graph_path=graph_path,
-                deadline=deadline,
+            # One extra stats snapshot fires mid-run at the warmup
+            # boundary so server-side aggregates can be windowed to
+            # the measurement interval, matching what the client-side
+            # percentiles measure. Best-effort: a snapshot lost to an
+            # injected fault or a saturated daemon falls back to the
+            # pre-run snapshot (the window then includes warmup).
+            window_snapshot: dict = {}
+
+            def _snap_window() -> None:
+                try:
+                    window_snapshot.update(_serving_stats(target))
+                except (OSError, ValueError):
+                    pass
+
+            window_timer = threading.Timer(
+                reseeded.warmup_s, _snap_window
             )
+            window_timer.daemon = True
+            window_timer.start()
+            try:
+                samples, start = loadclient.drive(
+                    target,
+                    schedule,
+                    reseeded,
+                    graph_path=graph_path,
+                    deadline=deadline,
+                )
+            finally:
+                window_timer.cancel()
+                window_timer.join(timeout=5.0)
             if monitor is not None:
                 monitor.stop()
             if daemon is not None and daemon.poll() is not None:
@@ -318,7 +416,10 @@ def run_scenario(
                     f"during {scenario.name!r} repetition {repetition}; "
                     "stderr: " + " | ".join(daemon.stderr_lines[-5:])
                 )
-            counters_after = _serving_counters(target)
+            stats_after = _serving_stats(target)
+            server_p95_ms, server_shed = _server_window(
+                window_snapshot or stats_before, stats_after
+            )
             cpu, rss = (
                 monitor.summary(
                     start + reseeded.warmup_s,
@@ -340,8 +441,11 @@ def run_scenario(
                     rss_peak_mb=rss,
                     calibration_s=calibration_s,
                     counters=_counter_delta(
-                        counters_before, counters_after
+                        stats_before.get("counters", {}) or {},
+                        stats_after.get("counters", {}) or {},
                     ),
+                    server_p95_ms=server_p95_ms,
+                    server_shed=server_shed,
                 )
             )
             outcome.samples[repetition] = samples

@@ -79,6 +79,8 @@ COLUMNS = (
     "serving_errors",
     "serving_shed",
     "serving_internal_errors",
+    "server_p95_ms",
+    "server_shed",
 )
 
 #: run-table counter column -> obs counter folded into it.
@@ -172,6 +174,16 @@ class RunRow:
     serving_errors: int
     serving_shed: int
     serving_internal_errors: int
+    #: Server-observed p95 handle time over the measurement window, in
+    #: ms — from the daemon's ``serving.handle_seconds`` histograms
+    #: (``stats`` op snapshot delta), so it cross-checks the
+    #: client-side ``p95_latency_ms`` without the client's queueing
+    #: delay. NaN when the harness could not capture the window.
+    server_p95_ms: float
+    #: Sheds the *server* counted inside the measurement window (the
+    #: ``serving.shed`` counter delta from the warmup boundary), unlike
+    #: ``serving_shed`` which spans the whole run including warmup.
+    server_shed: int
 
 # Fixed per-column formatting keeps the CSV byte-stable for identical
 # inputs: rates and seconds at 6 decimals, latencies at 3 (µs grain),
@@ -187,6 +199,7 @@ _PRECISION = {
     "p50_latency_ms": 3,
     "p95_latency_ms": 3,
     "p99_latency_ms": 3,
+    "server_p95_ms": 3,
     "cpu_usage_avg": 2,
     "rss_peak_mb": 2,
 }
@@ -287,13 +300,17 @@ def aggregate(
     rss_peak_mb: float = float("nan"),
     calibration_s: float = float("nan"),
     counters: dict | None = None,
+    server_p95_ms: float = float("nan"),
+    server_shed: int = 0,
 ) -> RunRow:
     """Fold one repetition's raw samples into a run-table row.
 
     Warmup samples are excluded from every aggregate (they exist only
     in the raw JSONL). ``counters`` is the delta of the daemon's
-    ``serving.*`` obs counters over the measurement window (from the
-    protocol's ``stats`` op before/after).
+    ``serving.*`` obs counters over the whole run (from the protocol's
+    ``stats`` op before/after); ``server_p95_ms``/``server_shed`` are
+    the measurement-window server-side cross-checks (histogram and
+    counter deltas from the warmup boundary — see the harness).
 
     ``shed`` samples are intentional refusals, not failures: they get
     their own ``shed_requests``/``shed_rate`` columns and stay out of
@@ -349,6 +366,8 @@ def aggregate(
         cpu_usage_avg=cpu_usage_avg,
         rss_peak_mb=rss_peak_mb,
         calibration_s=calibration_s,
+        server_p95_ms=server_p95_ms,
+        server_shed=server_shed,
         **{
             column: int(counters.get(counter, 0))
             for column, counter in COUNTER_COLUMNS.items()

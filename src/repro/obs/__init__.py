@@ -41,9 +41,11 @@ from contextlib import contextmanager
 
 from repro.obs import spans, trace
 from repro.obs.collector import SCHEMA, Collector, NullCollector
+from repro.obs.histogram import Histogram
 
 __all__ = [
     "Collector",
+    "Histogram",
     "NULL",
     "NullCollector",
     "SCHEMA",
@@ -52,6 +54,7 @@ __all__ = [
     "collecting",
     "count",
     "get_collector",
+    "observe",
     "set_collector",
     "set_span_attrs",
     "span",
@@ -117,6 +120,12 @@ def count(name: str, amount: int = 1) -> None:
 def add_seconds(name: str, seconds: float) -> None:
     """Accumulate seconds into a phase on the active collector."""
     getattr(_tls, "collector", NULL).add_seconds(name, seconds)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record one latency observation into a histogram on the active
+    collector (a no-op under the null default)."""
+    getattr(_tls, "collector", NULL).observe(name, seconds)
 
 
 def span(name: str):

@@ -1,7 +1,9 @@
 """The :class:`Collector`: process-wide counters and phase timers.
 
-A collector is a plain accumulator — named integer counters plus named
-wall-clock buckets — with a merge operation so that worker processes
+A collector is a plain accumulator — named integer counters, named
+wall-clock buckets, and named latency histograms (see
+:mod:`repro.obs.histogram`) — with a merge operation so that worker
+processes
 can aggregate locally and ship their snapshots back to the parent
 (see :mod:`repro.parallel.executor`). The :class:`NullCollector`
 subclass turns every recording method into a no-op so that
@@ -24,9 +26,11 @@ the merging side's current span by :meth:`Collector.merge`.
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 from repro.errors import ParseError
+from repro.obs.histogram import Histogram
 from repro.obs.spans import NULL_SPAN, SpanRecorder
 
 __all__ = ["SCHEMA", "Collector", "NullCollector"]
@@ -47,13 +51,27 @@ class Collector:
     1
     """
 
-    __slots__ = ("_counters", "_seconds", "_workers_merged", "_spans")
+    __slots__ = (
+        "_counters",
+        "_seconds",
+        "_histograms",
+        "_hist_lock",
+        "_workers_merged",
+        "_spans",
+    )
 
     is_noop = False
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
         self._seconds: dict[str, float] = {}
+        # Histograms are multi-field updates (bucket + count + sum), so
+        # unlike single-slot counter bumps a torn read would fail the
+        # snapshot's count invariant. The serving daemon records into
+        # one shared collector from every session thread, hence the
+        # lock; counter-only paths never touch it.
+        self._histograms: dict[str, Histogram] = {}
+        self._hist_lock = threading.Lock()
         self._workers_merged = 0
         self._spans: SpanRecorder | None = None
 
@@ -70,6 +88,18 @@ class Collector:
     def span(self, name: str) -> "_Span":
         """Context manager timing its block into phase ``name``."""
         return _Span(self, name)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into histogram ``name``.
+
+        Thread-safe: the serving daemon's session threads all record
+        into the server's shared collector.
+        """
+        with self._hist_lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.record(seconds)
 
     # -- hierarchical spans --------------------------------------------
 
@@ -137,6 +167,28 @@ class Collector:
         """A copy of the phase → seconds mapping."""
         return dict(self._seconds)
 
+    def histogram(self, name: str) -> Histogram | None:
+        """The named latency histogram, or ``None`` if never observed."""
+        return self._histograms.get(name)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """A copy of the histogram-name → histogram mapping."""
+        return dict(self._histograms)
+
+    def histogram_snapshots(self) -> dict[str, dict]:
+        """Consistent snapshots of every histogram (name, sorted).
+
+        Taken under the recording lock so a concurrent ``record`` can
+        never produce a snapshot whose declared count disagrees with
+        its bucket total.
+        """
+        with self._hist_lock:
+            return {
+                name: self._histograms[name].to_snapshot()
+                for name in sorted(self._histograms)
+            }
+
     @property
     def workers_merged(self) -> int:
         """How many worker snapshots have been merged in."""
@@ -147,6 +199,7 @@ class Collector:
         return (
             not self._counters
             and not self._seconds
+            and not self._histograms
             and self._workers_merged == 0
             and (self._spans is None or self._spans.is_empty())
         )
@@ -159,6 +212,8 @@ class Collector:
             "counters": dict(self._counters),
             "phases": dict(self._seconds),
         }
+        if self._histograms:
+            state["histograms"] = self.histogram_snapshots()
         if self._spans is not None and not self._spans.is_empty():
             state["spans"] = self._spans.snapshot()
         return state
@@ -183,6 +238,12 @@ class Collector:
             self.count(name, int(value))
         for name, seconds in snapshot.get("phases", {}).items():
             self.add_seconds(name, float(seconds))
+        with self._hist_lock:
+            for name, payload in snapshot.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
+                histogram.merge(payload)
         spans_payload = snapshot.get("spans")
         if spans_payload:
             # Re-parent the worker's subtree under whatever span is
@@ -192,12 +253,25 @@ class Collector:
         self._workers_merged += 1
 
     def reset(self) -> None:
-        """Drop every recorded counter, phase, and merge mark."""
+        """Drop every recorded counter, phase, histogram, merge mark."""
         self._counters.clear()
         self._seconds.clear()
+        with self._hist_lock:
+            self._histograms.clear()
         self._workers_merged = 0
         if self._spans is not None:
             self._spans.reset()
+
+    def reset_histograms(self) -> None:
+        """Zero the window-scoped latency histograms only.
+
+        Lifetime counters, phases, and spans are untouched — this backs
+        the ``stats`` op's ``reset: true`` option, which lets an
+        operator start a fresh measurement window without losing the
+        daemon's cumulative request accounting.
+        """
+        with self._hist_lock:
+            self._histograms.clear()
 
     # -- validation ----------------------------------------------------
 
@@ -254,6 +328,8 @@ class Collector:
             "phases": dict(sorted(self._seconds.items())),
             "workers_merged": self._workers_merged,
         }
+        if self._histograms:
+            payload["histograms"] = self.histogram_snapshots()
         if self._spans is not None and not self._spans.is_empty():
             payload["spans"] = self._spans.snapshot()
         return json.dumps(payload, indent=2)
@@ -280,6 +356,12 @@ class Collector:
             collector._workers_merged = int(
                 payload.get("workers_merged", 0)
             )
+            for name, histogram_payload in payload.get(
+                "histograms", {}
+            ).items():
+                collector._histograms[str(name)] = (
+                    Histogram.from_snapshot(histogram_payload)
+                )
             spans_payload = payload.get("spans")
             if spans_payload:
                 collector.enable_spans().load(dict(spans_payload))
@@ -342,6 +424,9 @@ class NullCollector(Collector):
         pass
 
     def add_seconds(self, name: str, seconds: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
         pass
 
     def span(self, name: str) -> "_NullSpan":  # type: ignore[override]

@@ -1,0 +1,239 @@
+"""Fixed-boundary log-bucketed latency histograms.
+
+A :class:`Histogram` is the latency counterpart of a counter: an exact
+count of observations per bucket, mergeable by addition, with bucket
+edges fixed at import time so two histograms recorded in different
+processes (or different weeks) always share a layout and can be folded
+together without resampling.
+
+Layout
+------
+Buckets are logarithmic with four sub-buckets per power of two,
+starting at 1 µs: the upper bound of bucket ``i`` is
+``1e-6 * 2 ** (i / 4)`` seconds. 97 finite bounds cover 1 µs through
+``2**24`` µs (~16.8 s); one final overflow bucket catches everything
+beyond. Bucket ``i`` holds observations in ``(bounds[i-1], bounds[i]]``
+(bucket 0 additionally includes zero), so any quantile read off a
+bucket's upper edge overshoots the true order statistic by at most one
+bucket ratio (``2**0.25``, ~19%) — tight enough that server-derived
+percentiles can be cross-checked against client-side measurements.
+
+Snapshots are sparse dicts (only non-empty buckets), keyed by the
+stringified bucket index so they survive JSON round-trips, and carry a
+``layout`` tag so a future edge change is detected instead of silently
+merged. They ride inside the ``repro.obs/1`` schema under the optional
+``"histograms"`` key (see :mod:`repro.obs.collector`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil, isnan, nan
+
+from repro.errors import ParseError
+
+__all__ = ["BOUNDS", "LAYOUT", "RATIO", "Histogram", "subtract_snapshots"]
+
+#: Sub-buckets per power of two; the ratio between adjacent bounds.
+_SUBDIV = 4
+
+#: Powers of two covered above the 1 µs base.
+_POWERS = 24
+
+#: Ratio between adjacent bucket upper bounds (relative quantile error).
+RATIO = 2.0 ** (1.0 / _SUBDIV)
+
+#: Finite bucket upper bounds in seconds, ascending. ``BOUNDS[i]`` is
+#: exactly ``1e-6 * 2**(i/4)`` — deterministic across processes and
+#: Python versions because it is pure float arithmetic on constants.
+BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 2.0 ** (i / _SUBDIV) for i in range(_POWERS * _SUBDIV + 1)
+)
+
+#: Total bucket count: one per finite bound plus the overflow bucket.
+_NUM_BUCKETS = len(BOUNDS) + 1
+
+#: Layout tag embedded in every snapshot. Bump when edges change so a
+#: merge across incompatible layouts fails loudly.
+LAYOUT = f"log2x{_SUBDIV}/1e-6/{len(BOUNDS)}"
+
+
+class Histogram:
+    """An exact-count latency histogram over the fixed bucket layout.
+
+    >>> h = Histogram()
+    >>> h.record(0.003)
+    >>> h.count
+    1
+    >>> 0.003 <= h.quantile(0.5) <= 0.003 * RATIO
+    True
+    """
+
+    __slots__ = ("_counts", "_count", "_sum")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _NUM_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Count one observation of ``seconds`` (negatives clamp to 0)."""
+        value = float(seconds)
+        if value < 0.0 or isnan(value):
+            value = 0.0
+        self._counts[bisect_left(BOUNDS, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded (or merged in)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values in seconds."""
+        return self._sum
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts (dense, overflow last)."""
+        return tuple(self._counts)
+
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded or merged."""
+        return self._count == 0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate in seconds (NaN when empty).
+
+        Returns the upper bound of the bucket holding the nearest-rank
+        order statistic, so the estimate is an upper bound on the true
+        value and overshoots it by at most a factor of :data:`RATIO`.
+        Overflow-bucket observations report the top finite bound.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self._count == 0:
+            return nan
+        rank = ceil(q * self._count)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                return BOUNDS[min(index, len(BOUNDS) - 1)]
+        return BOUNDS[-1]  # pragma: no cover - unreachable
+
+    def summary(self) -> dict:
+        """Derived p50/p95/p99 (milliseconds) plus count and mean."""
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean_ms": round(self._sum / self._count * 1000.0, 4),
+            "p50_ms": round(self.quantile(0.50) * 1000.0, 4),
+            "p95_ms": round(self.quantile(0.95) * 1000.0, 4),
+            "p99_ms": round(self.quantile(0.99) * 1000.0, 4),
+        }
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold another histogram (or a snapshot dict) into this one."""
+        if isinstance(other, Histogram):
+            for index, bucket_count in enumerate(other._counts):
+                self._counts[index] += bucket_count
+            self._count += other._count
+            self._sum += other._sum
+            return
+        loaded = Histogram.from_snapshot(other)
+        self.merge(loaded)
+
+    def reset(self) -> None:
+        """Drop every recorded observation."""
+        for index in range(_NUM_BUCKETS):
+            self._counts[index] = 0
+        self._count = 0
+        self._sum = 0.0
+
+    # -- serialisation -------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Sparse JSON-safe snapshot (bucket index → count, ascending)."""
+        return {
+            "layout": LAYOUT,
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                str(index): bucket_count
+                for index, bucket_count in enumerate(self._counts)
+                if bucket_count
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "Histogram":
+        """Rebuild from :meth:`to_snapshot`; raises on invalid layouts.
+
+        Raises :class:`repro.errors.ParseError` on layout mismatch,
+        out-of-range bucket indices, negative counts, or a total that
+        disagrees with the bucket counts.
+        """
+        try:
+            layout = payload.get("layout")
+            if layout != LAYOUT:
+                raise ValueError(
+                    f"histogram layout {layout!r} != {LAYOUT!r}"
+                )
+            histogram = cls()
+            total = 0
+            for key, bucket_count in payload.get("buckets", {}).items():
+                index = int(key)
+                if not 0 <= index < _NUM_BUCKETS:
+                    raise ValueError(f"bucket index {index} out of range")
+                bucket_count = int(bucket_count)
+                if bucket_count < 0:
+                    raise ValueError(
+                        f"bucket {index} has negative count {bucket_count}"
+                    )
+                histogram._counts[index] = bucket_count
+                total += bucket_count
+            declared = int(payload.get("count", total))
+            if declared != total:
+                raise ValueError(
+                    f"declared count {declared} != bucket total {total}"
+                )
+            histogram._count = total
+            histogram._sum = float(payload.get("sum", 0.0))
+            if histogram._sum < 0.0:
+                raise ValueError(f"negative sum {histogram._sum}")
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ParseError(
+                f"not a valid histogram snapshot: {exc}"
+            ) from exc
+        return histogram
+
+
+def subtract_snapshots(after: dict, before: dict) -> Histogram:
+    """The window delta ``after - before`` as a fresh histogram.
+
+    Both snapshots must come from the same monotonically-growing
+    histogram (e.g. two successive ``stats`` reads of a serving
+    daemon); per-bucket differences clamp at zero so a server restart
+    between reads degrades to "just the after window" instead of
+    raising.
+    """
+    histogram = Histogram.from_snapshot(after)
+    earlier = Histogram.from_snapshot(before)
+    total = 0
+    for index in range(_NUM_BUCKETS):
+        clamped = max(0, histogram._counts[index] - earlier._counts[index])
+        histogram._counts[index] = clamped
+        total += clamped
+    histogram._count = total
+    histogram._sum = max(0.0, histogram._sum - earlier._sum)
+    return histogram

@@ -16,7 +16,11 @@ three layers (see ``docs/serving.md`` and ``docs/architecture.md``):
   bounded admission with per-cost-class queues and explicit load
   shedding (the ``overloaded`` protocol error);
 * :mod:`repro.serving.chaos` — deterministic fault injection into the
-  serving stages, extending :mod:`repro.resilience.faults`.
+  serving stages, extending :mod:`repro.resilience.faults`;
+* :mod:`repro.serving.metrics` + :mod:`repro.serving.accesslog` +
+  :mod:`repro.serving.top` — the telemetry surfaces: a Prometheus
+  ``/metrics`` HTTP listener, request-scoped JSONL access logs, and
+  the ``ripple top`` polling console (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -29,6 +33,7 @@ Quickstart::
     print(engine.query(vertex=7, k=3).components)
 """
 
+from repro.serving.accesslog import AccessLog
 from repro.serving.admission import AdmissionController
 from repro.serving.daemon import (
     ServeSettings,
@@ -43,22 +48,39 @@ from repro.serving.engine import (
     QueryResult,
 )
 from repro.serving.index import INDEX_SCHEMA, KvccIndex, graph_fingerprint
-from repro.serving.protocol import PROTOCOL, handle_line, handle_request
+from repro.serving.metrics import (
+    MetricsServer,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.serving.protocol import (
+    PROTOCOL,
+    ServerContext,
+    error_line,
+    handle_line,
+    handle_request,
+)
 
 __all__ = [
+    "AccessLog",
     "AdmissionController",
     "BatchDeadlineExpired",
     "INDEX_SCHEMA",
     "KvccIndex",
     "LRUCache",
+    "MetricsServer",
     "PROTOCOL",
     "QueryEngine",
     "QueryResult",
     "ServeSettings",
+    "ServerContext",
     "TcpServerHandle",
+    "error_line",
     "graph_fingerprint",
     "handle_line",
     "handle_request",
+    "render_prometheus",
     "serve_stdio",
     "serve_tcp",
+    "validate_exposition",
 ]

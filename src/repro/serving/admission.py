@@ -108,17 +108,36 @@ class AdmissionTicket:
     controller can free the worker and fold the observed service time
     into the class's EWMA."""
 
-    __slots__ = ("_controller", "_cost_class", "_released", "_started")
+    __slots__ = (
+        "_controller",
+        "_cost_class",
+        "_queued_s",
+        "_released",
+        "_started",
+    )
 
-    def __init__(self, controller: "AdmissionController", klass: str) -> None:
+    def __init__(
+        self,
+        controller: "AdmissionController",
+        klass: str,
+        *,
+        queued_s: float = 0.0,
+    ) -> None:
         self._controller = controller
         self._cost_class = klass
+        self._queued_s = queued_s
         self._started = time.monotonic()
         self._released = False
 
     @property
     def cost_class(self) -> str:
         return self._cost_class
+
+    @property
+    def queued_s(self) -> float:
+        """Seconds this request waited in the admission queue (0.0 for
+        an immediate admit); surfaced in the access log as queue_ms."""
+        return self._queued_s
 
     def release(self) -> None:
         if not self._released:
@@ -191,6 +210,7 @@ class AdmissionController:
                 self._slots_free -= 1
                 self._in_service[klass] += 1
                 obs.count("serving.admitted")
+                obs.observe(f"serving.queue_wait_seconds.{klass}", 0.0)
                 return AdmissionTicket(self, klass)
             if self.shed_policy != "block":
                 total_waiting = sum(self._waiters.values())
@@ -201,6 +221,7 @@ class AdmissionController:
                     obs.count("serving.shed")
                     obs.count(f"serving.shed.{klass}")
                     return None
+            queued_at = time.monotonic()
             self._waiters[klass] += 1
             try:
                 while self._slots_free <= 0:
@@ -211,9 +232,12 @@ class AdmissionController:
             self._in_service[klass] += 1
             obs.count("serving.admitted")
             obs.count("serving.admitted.queued")
-            return AdmissionTicket(self, klass)
+            waited_s = time.monotonic() - queued_at
+            obs.observe(f"serving.queue_wait_seconds.{klass}", waited_s)
+            return AdmissionTicket(self, klass, queued_s=waited_s)
 
     def _release(self, klass: str, elapsed_s: float) -> None:
+        obs.observe(f"serving.service_seconds.{klass}", elapsed_s)
         with self._condition:
             self._slots_free += 1
             self._in_service[klass] = max(0, self._in_service[klass] - 1)
@@ -252,8 +276,13 @@ class AdmissionController:
                 "workers": self.workers,
                 "max_queue": self.max_queue,
                 "shed_policy": self.shed_policy,
+                "slots_free": self._slots_free,
                 "in_service": dict(self._in_service),
                 "waiting": dict(self._waiters),
+                # Alias of "waiting" under the gauge vocabulary: the
+                # per-class queue depth *right now*, as opposed to the
+                # cumulative serving.shed/admitted counters.
+                "queue_depth": dict(self._waiters),
                 "service_ewma_ms": {
                     klass: round(seconds * 1000.0, 3)
                     for klass, seconds in self._service_ewma_s.items()

@@ -102,8 +102,14 @@ class ServingFaults:
         self._lock = threading.Lock()
         self._sequence: dict[str, int] = {}
 
-    def draw(self, stage: str) -> str | None:
-        """The armed mode for this stage hit (consumes one firing)."""
+    def draw(self, stage: str, *, request_id=None) -> str | None:
+        """The armed mode for this stage hit (consumes one firing).
+
+        ``request_id`` ties the draw to the request that triggered it:
+        a firing emits a ``serving.fault`` trace event carrying the id,
+        so an access-log line with a surprising outcome can be joined
+        to the exact fault that caused it.
+        """
         with self._lock:
             index = self._sequence.get(stage, 0)
             self._sequence[stage] = index + 1
@@ -111,6 +117,13 @@ class ServingFaults:
         if mode is not None:
             obs.count("serving.faults_injected")
             obs.count(f"serving.faults.{stage}.{mode}")
+            obs.trace_event(
+                "serving.fault",
+                stage=stage,
+                mode=mode,
+                sequence=index,
+                request_id=request_id,
+            )
         return mode
 
     @property
@@ -151,7 +164,7 @@ def current() -> ServingFaults | None:
         return _active
 
 
-def draw(stage: str) -> str | None:
+def draw(stage: str, *, request_id=None) -> str | None:
     """The fault mode armed for this stage hit, or ``None`` (fast path:
     one lock-free attribute read when no plan is active)."""
     faults = _active
@@ -160,7 +173,7 @@ def draw(stage: str) -> str | None:
     faults = current()
     if faults is None:
         return None
-    return faults.draw(stage)
+    return faults.draw(stage, request_id=request_id)
 
 
 def hang_seconds() -> float:
@@ -168,7 +181,7 @@ def hang_seconds() -> float:
     return faults.hang_seconds if faults is not None else 0.0
 
 
-def fire(stage: str) -> str | None:
+def fire(stage: str, *, request_id=None) -> str | None:
     """Draw and *apply* the common modes for ``stage``.
 
     ``hang`` sleeps here and returns ``None`` (the operation then
@@ -177,7 +190,7 @@ def fire(stage: str) -> str | None:
     (``serve.handle``, ``index.save``) call :func:`draw` directly and
     interpret the mode themselves.
     """
-    mode = draw(stage)
+    mode = draw(stage, request_id=request_id)
     if mode is None:
         return None
     if mode == "hang":

@@ -39,10 +39,11 @@ from dataclasses import dataclass
 from typing import IO
 
 from repro import obs
+from repro.serving.accesslog import AccessLog
 from repro.serving.admission import AdmissionController
 from repro.serving.chaos import SessionCrash
 from repro.serving.engine import QueryEngine
-from repro.serving.protocol import error_line, handle_line
+from repro.serving.protocol import ServerContext, error_line, handle_line
 
 __all__ = ["ServeSettings", "TcpServerHandle", "serve_stdio", "serve_tcp"]
 
@@ -67,6 +68,19 @@ class ServeSettings:
     #: Longest accepted request line; anything longer is drained and
     #: answered with ``bad-request``.
     max_line_bytes: int = 1 << 20
+    #: Path for the JSONL access log (None = no access log); one
+    #: record per request line, appended and flushed as responses go
+    #: out (see :mod:`repro.serving.accesslog`).
+    access_log: str | None = None
+
+
+def _open_context(settings: ServeSettings) -> ServerContext:
+    access_log = (
+        AccessLog.open(settings.access_log)
+        if settings.access_log is not None
+        else None
+    )
+    return ServerContext(access_log=access_log)
 
 
 def _oversized_response(limit: int) -> str:
@@ -92,37 +106,43 @@ def serve_stdio(
     served = 0
     obs.count("serving.sessions")
     limit = settings.max_line_bytes
-    while True:
-        line = in_stream.readline(limit)
-        if not line:
-            break
-        if len(line) >= limit and not line.endswith("\n"):
-            # Oversized: drain the rest of the line in bounded chunks,
-            # reject it, keep the session.
-            while True:
-                chunk = in_stream.readline(limit)
-                if not chunk or chunk.endswith("\n"):
-                    break
-            served += 1
-            out_stream.write(_oversized_response(limit) + "\n")
-            out_stream.flush()
-            continue
-        try:
-            response, keep_serving = handle_line(
-                engine,
-                line,
-                request_timeout=settings.request_timeout,
-                reloader=settings.reloader,
-            )
-        except SessionCrash:
-            obs.count("serving.sessions.crashed")
-            break
-        if response:
-            served += 1
-            out_stream.write(response + "\n")
-            out_stream.flush()
-        if not keep_serving:
-            break
+    context = _open_context(settings)
+    try:
+        while True:
+            line = in_stream.readline(limit)
+            if not line:
+                break
+            if len(line) >= limit and not line.endswith("\n"):
+                # Oversized: drain the rest of the line in bounded
+                # chunks, reject it, keep the session.
+                while True:
+                    chunk = in_stream.readline(limit)
+                    if not chunk or chunk.endswith("\n"):
+                        break
+                served += 1
+                out_stream.write(_oversized_response(limit) + "\n")
+                out_stream.flush()
+                continue
+            try:
+                response, keep_serving = handle_line(
+                    engine,
+                    line,
+                    request_timeout=settings.request_timeout,
+                    reloader=settings.reloader,
+                    context=context,
+                )
+            except SessionCrash:
+                obs.count("serving.sessions.crashed")
+                break
+            if response:
+                served += 1
+                out_stream.write(response + "\n")
+                out_stream.flush()
+            if not keep_serving:
+                break
+    finally:
+        if context.access_log is not None:
+            context.access_log.close()
     return served
 
 
@@ -155,6 +175,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                             request_timeout=server.settings.request_timeout,
                             reloader=server.settings.reloader,
                             admission=server.admission,
+                            context=server.context,
                         )
                     except SessionCrash:
                         # Injected handler crash: the connection dies
@@ -199,6 +220,9 @@ class _TcpServer(socketserver.ThreadingTCPServer):
         # run's collector (Collector.count is a dict update under the
         # GIL; merge-safe for our integer bumps).
         self.collector = obs.get_collector()
+        #: Daemon-scoped serving state: uptime epoch + optional access
+        #: log, shared by every session thread.
+        self.context = _open_context(settings)
         #: Set while :meth:`TcpServerHandle.stop` drains sessions.
         self.draining = threading.Event()
         self._sessions_lock = threading.Lock()
@@ -234,6 +258,16 @@ class TcpServerHandle:
         """The bound port (ephemeral when 0 was requested)."""
         return self.address[1]
 
+    @property
+    def admission(self) -> AdmissionController:
+        """The daemon's admission controller (for gauges/metrics)."""
+        return self._server.admission
+
+    @property
+    def context(self) -> ServerContext:
+        """The daemon's serving context (uptime epoch, access log)."""
+        return self._server.context
+
     def stop(self, drain_timeout: float = 5.0) -> None:
         """Stop accepting, drain in-flight sessions, join every thread.
 
@@ -261,6 +295,8 @@ class TcpServerHandle:
             thread.join(timeout=1.0)
         self._server.server_close()
         self._thread.join(timeout=5)
+        if self._server.context.access_log is not None:
+            self._server.context.access_log.close()
 
     def shutdown(self) -> None:
         """Alias for :meth:`stop` (kept for existing callers)."""
@@ -301,4 +337,6 @@ def serve_tcp(
         server.serve_forever()
     finally:
         server.server_close()
+        if server.context.access_log is not None:
+            server.context.access_log.close()
     return None

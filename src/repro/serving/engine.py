@@ -22,6 +22,7 @@ spans (see the catalogue in ``docs/observability.md``).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
@@ -268,6 +269,7 @@ class QueryEngine:
         k: int,
         *,
         deadline: Deadline | None = None,
+        request_id=None,
     ) -> QueryResult:
         """Answer one QkVCS query.
 
@@ -275,22 +277,37 @@ class QueryEngine:
         incomplete index's ceiling, needs the graph). The deadline is
         checked once before any live work; expiry raises
         :class:`BatchDeadlineExpired` with no completed answers.
+
+        Each successful resolution records its wall time into the
+        ``serving.resolve_seconds.{cache,index,live}`` histogram of the
+        tier that answered, so an operator can see not just hit *rates*
+        but the latency shape of each tier. ``request_id`` (assigned by
+        the protocol layer) is attached to the resolution span and to
+        chaos fault draws for per-request causality.
         """
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         obs.count("serving.queries")
+        resolve_started = time.perf_counter()
         # Chaos stage: hang stalls the query (deterministic service
         # time for calibrated-overload runs), other modes raise
         # FaultInjected and surface as an `internal` protocol error.
-        chaos.fire("engine.resolve")
+        chaos.fire("engine.resolve", request_id=request_id)
         cached = self._cache.get((vertex, k))
         if cached is not None:
             obs.count("serving.cache.hits")
+            obs.observe(
+                "serving.resolve_seconds.cache",
+                time.perf_counter() - resolve_started,
+            )
             return QueryResult(vertex, k, cached, "cache")
         obs.count("serving.cache.misses")
         if deadline is not None and deadline.expired():
             raise BatchDeadlineExpired([], 1)
-        with obs.start_span("serving.query", k=k):
+        span_attrs = {"k": k}
+        if request_id is not None:
+            span_attrs["request_id"] = request_id
+        with obs.start_span("serving.query", **span_attrs):
             index = self.ensure_index()
             if vertex not in index:
                 raise ParameterError(
@@ -304,6 +321,10 @@ class QueryEngine:
                 components = self._live_fallback(vertex, k)
                 source = "live"
         self._cache.put((vertex, k), components)
+        obs.observe(
+            f"serving.resolve_seconds.{source}",
+            time.perf_counter() - resolve_started,
+        )
         return QueryResult(vertex, k, components, source)
 
     def query_batch(
@@ -311,6 +332,7 @@ class QueryEngine:
         queries: Iterable[tuple[Hashable, int]],
         *,
         deadline: Deadline | None = None,
+        request_id=None,
     ) -> list[QueryResult]:
         """Answer ``(vertex, k)`` pairs in order.
 
@@ -319,14 +341,17 @@ class QueryEngine:
         prefix rides along in :class:`BatchDeadlineExpired`.
         """
         pairs = list(queries)
+        span_attrs = {"size": len(pairs)}
+        if request_id is not None:
+            span_attrs["request_id"] = request_id
         results: list[QueryResult] = []
-        with obs.start_span("serving.batch", size=len(pairs)):
+        with obs.start_span("serving.batch", **span_attrs):
             obs.count("serving.batches")
             for vertex, k in pairs:
                 if deadline is not None and deadline.expired():
                     obs.count("serving.deadline_expirations")
                     raise BatchDeadlineExpired(results, len(pairs))
-                results.append(self.query(vertex, k))
+                results.append(self.query(vertex, k, request_id=request_id))
         return results
 
     def _live_fallback(self, vertex: Hashable, k: int) -> tuple[frozenset, ...]:

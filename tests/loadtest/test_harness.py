@@ -100,6 +100,75 @@ class TestInProcess:
         assert outcome.status == "deadline"
         assert outcome.rows == []
 
+    def test_server_and_client_p95_agree_on_a_fault_free_run(
+        self, graph_file
+    ):
+        # The telemetry cross-check the CI gate relies on: the daemon's
+        # own serving.handle_seconds p95 must track the client-observed
+        # p95. The client figure is strictly larger (it includes the
+        # network round trip and client-side scheduling), so agreement
+        # is within a tolerance plus a fixed slack, not equality.
+        graph = read_edge_list(graph_file, allow_self_loops=True)
+        scenario = _quick(duration_s=1.0, warmup_s=0.2)
+        with obs.collecting():
+            with serve_tcp(QueryEngine(graph), background=True) as handle:
+                outcome = run_scenario(
+                    scenario,
+                    graph_file,
+                    calibration_s=0.02,
+                    address=handle.address,
+                )
+        (row,) = outcome.rows
+        assert row.server_p95_ms == row.server_p95_ms  # populated, not NaN
+        assert row.server_p95_ms > 0
+        assert row.server_shed == 0
+        gate = {
+            "schema": "repro.loadgate/1",
+            "scenario": scenario.name,
+            "calibration_s": 0.02,
+            "p95_ceiling_ms": 10_000.0,
+            "rps_floor": 0.01,
+            "max_failure_rate": 0.0,
+            "server_p95_tolerance": 0.2,
+            "server_p95_slack_ms": 3.0,
+        }
+        verdict = compare_load_table(outcome.rows, gate)
+        assert verdict["ok"], verdict["failures"]
+        # A gate that demands the impossible (zero tolerance, zero
+        # slack) flags the telemetry check by name.
+        strict = dict(gate, server_p95_tolerance=0.0, server_p95_slack_ms=0.0)
+        verdict = compare_load_table(outcome.rows, strict)
+        assert not verdict["ok"]
+        assert any("server p95" in failure for failure in verdict["failures"])
+
+    def test_gate_flags_a_missing_server_p95(self, graph_file):
+        # Rows without daemon telemetry fail a gate that requires the
+        # cross-check instead of silently passing it.
+        from repro.loadtest.run_table import Sample, aggregate
+
+        row = aggregate(
+            scenario="point",
+            repetition=1,
+            topology="toy",
+            workers=2,
+            offered_rps=10.0,
+            samples=[Sample("point", 0.1, 2.0, "ok")],
+            measure_window_s=1.0,
+            calibration_s=0.02,
+        )
+        gate = {
+            "schema": "repro.loadgate/1",
+            "scenario": "point",
+            "calibration_s": 0.02,
+            "p95_ceiling_ms": 10_000.0,
+            "rps_floor": 0.01,
+            "max_failure_rate": 1.0,
+            "server_p95_tolerance": 0.2,
+        }
+        verdict = compare_load_table([row], gate)
+        assert not verdict["ok"]
+        assert any("missing" in failure for failure in verdict["failures"])
+
     def test_gate_passes_on_the_clean_row(self, graph_file):
         graph = read_edge_list(graph_file, allow_self_loops=True)
         scenario = _quick()

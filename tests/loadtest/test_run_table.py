@@ -161,6 +161,26 @@ class TestWriter:
         with pytest.raises(ParameterError, match="header"):
             read_run_table(path)
 
+    def test_server_telemetry_columns_round_trip(self, tmp_path):
+        path = tmp_path / "run_table.csv"
+        row = _row(server_p95_ms=4.257, server_shed=3)
+        write_run_table(path, [row])
+        (read,) = read_run_table(path)
+        assert read.server_p95_ms == pytest.approx(4.257, abs=1e-3)
+        assert read.server_shed == 3
+
+    def test_missing_server_p95_serialises_as_an_empty_cell(self, tmp_path):
+        # The default: no daemon stats were captured (external target,
+        # lost window snapshot) — the cell stays empty, not "nan".
+        path = tmp_path / "run_table.csv"
+        write_run_table(path, [_row()])
+        record = path.read_text(encoding="utf-8").splitlines()[1]
+        cells = dict(zip(COLUMNS, record.split(",")))
+        assert cells["server_p95_ms"] == ""
+        assert cells["server_shed"] == "0"
+        (read,) = read_run_table(path)
+        assert math.isnan(read.server_p95_ms)
+
 
 class TestPercentile:
     def test_nearest_rank(self):

@@ -1,0 +1,225 @@
+"""Histogram semantics: layout, merges, round trips, quantile error."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro import obs
+from repro.errors import ParseError
+from repro.obs import Collector, NullCollector
+from repro.obs.histogram import (
+    BOUNDS,
+    LAYOUT,
+    RATIO,
+    Histogram,
+    subtract_snapshots,
+)
+
+
+def _filled(values) -> Histogram:
+    histogram = Histogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+class TestLayout:
+    def test_bounds_are_deterministic_pure_arithmetic(self):
+        # The contract the mergeability story rests on: every process
+        # derives byte-identical edges from constants.
+        assert BOUNDS == tuple(1e-6 * 2.0 ** (i / 4) for i in range(97))
+        assert LAYOUT == "log2x4/1e-6/97"
+
+    def test_bounds_are_strictly_ascending_at_fixed_ratio(self):
+        for lower, upper in zip(BOUNDS, BOUNDS[1:]):
+            assert upper / lower == pytest.approx(RATIO)
+
+    def test_bucketing_is_upper_inclusive(self):
+        histogram = _filled([BOUNDS[10]])
+        assert histogram.counts[10] == 1
+        histogram = _filled([BOUNDS[10] * 1.000001])
+        assert histogram.counts[11] == 1
+
+    def test_zero_negative_and_nan_clamp_to_the_first_bucket(self):
+        histogram = _filled([0.0, -1.0, float("nan")])
+        assert histogram.counts[0] == 3
+        assert histogram.sum == 0.0
+
+    def test_overflow_lands_in_the_last_bucket(self):
+        histogram = _filled([BOUNDS[-1] * 2])
+        assert histogram.counts[-1] == 1
+        # Overflow quantiles report the top finite bound, not infinity.
+        assert histogram.quantile(1.0) == BOUNDS[-1]
+
+
+class TestMerge:
+    def test_merge_is_commutative(self):
+        a_then_b = _filled([0.001, 0.5])
+        a_then_b.merge(_filled([0.002, 30.0]))
+        b_then_a = _filled([0.002, 30.0])
+        b_then_a.merge(_filled([0.001, 0.5]))
+        assert a_then_b.to_snapshot() == b_then_a.to_snapshot()
+
+    def test_merge_is_associative(self):
+        parts = [
+            [0.0001, 0.001],
+            [0.01, 0.02, 0.02],
+            [1.5],
+        ]
+        left = _filled(parts[0])
+        left.merge(_filled(parts[1]))
+        left.merge(_filled(parts[2]))
+        inner = _filled(parts[1])
+        inner.merge(_filled(parts[2]))
+        right = _filled(parts[0])
+        right.merge(inner)
+        # Bucket counts are integers, so grouping is exactly
+        # associative; the float sum is associative only to rounding.
+        assert left.counts == right.counts
+        assert left.count == right.count == 6
+        assert left.sum == pytest.approx(right.sum)
+
+    def test_merge_accepts_snapshot_dicts(self):
+        histogram = _filled([0.003])
+        histogram.merge(_filled([0.004]).to_snapshot())
+        assert histogram.count == 2
+
+    def test_merge_rejects_foreign_layouts(self):
+        snapshot = _filled([0.003]).to_snapshot()
+        snapshot["layout"] = "log10/1e-3/42"
+        with pytest.raises(ParseError, match="layout"):
+            Histogram().merge(snapshot)
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_is_sparse_and_json_safe(self):
+        snapshot = _filled([0.003, 0.003, 7.0]).to_snapshot()
+        assert set(snapshot) == {"layout", "count", "sum", "buckets"}
+        assert len(snapshot["buckets"]) == 2  # only touched buckets
+        assert all(isinstance(k, str) for k in snapshot["buckets"])
+        # Survives a JSON round trip unchanged.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_round_trip_is_byte_identical(self):
+        histogram = _filled([1e-6, 0.004, 0.004, 2.5, 40.0])
+        first = json.dumps(histogram.to_snapshot(), sort_keys=True)
+        second = json.dumps(
+            Histogram.from_snapshot(json.loads(first)).to_snapshot(),
+            sort_keys=True,
+        )
+        assert first == second
+
+    def test_obs_schema_round_trip_is_byte_identical(self):
+        collector = Collector()
+        collector.count("serving.requests", 3)
+        for value in (0.001, 0.002, 0.4):
+            collector.observe("serving.handle_seconds.point", value)
+        document = collector.to_json()
+        assert json.loads(document)["schema"] == "repro.obs/1"
+        assert Collector.from_json(document).to_json() == document
+
+    def test_from_snapshot_rejects_corruption(self):
+        good = _filled([0.003]).to_snapshot()
+        for mutation in (
+            {"layout": "other"},
+            {"count": 99},  # disagrees with bucket total
+            {"buckets": {"9999": 1}},  # out of range
+            {"buckets": {"3": -1}},  # negative count
+            {"sum": -1.0},
+        ):
+            with pytest.raises(ParseError):
+                Histogram.from_snapshot({**good, **mutation})
+
+    def test_subtract_snapshots_gives_the_window(self):
+        before = _filled([0.001, 0.010])
+        after = _filled([0.001, 0.010, 0.020, 0.020])
+        window = subtract_snapshots(
+            after.to_snapshot(), before.to_snapshot()
+        )
+        assert window.count == 2
+        assert window.sum == pytest.approx(0.040)
+
+    def test_subtract_clamps_on_restart(self):
+        # A daemon restart makes "after" smaller than "before"; the
+        # delta degrades to the after-window instead of going negative.
+        window = subtract_snapshots(
+            _filled([0.001]).to_snapshot(),
+            _filled([0.001, 0.002, 0.003]).to_snapshot(),
+        )
+        assert window.count == 0
+        assert window.sum == 0.0
+
+
+class TestQuantiles:
+    def test_quantile_within_one_bucket_width_of_exact(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-5, 2.0) for _ in range(5000)]
+        histogram = _filled(values)
+        values.sort()
+        for q in (0.50, 0.90, 0.95, 0.99):
+            exact = values[math.ceil(q * len(values)) - 1]
+            estimate = histogram.quantile(q)
+            # The estimate is the holding bucket's upper edge: never
+            # below the true order statistic, at most RATIO above it.
+            assert exact <= estimate <= exact * RATIO
+
+    def test_quantile_validates_q(self):
+        histogram = _filled([0.001])
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                histogram.quantile(bad)
+
+    def test_empty_histogram_reports_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+        assert Histogram().is_empty()
+        assert Histogram().summary() == {"count": 0}
+
+    def test_summary_reports_milliseconds(self):
+        summary = _filled([0.002] * 100).summary()
+        assert summary["count"] == 100
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert 2.0 <= summary["p95_ms"] <= 2.0 * RATIO
+
+
+class TestCollectorDispatch:
+    def test_collector_observe_creates_and_records(self):
+        collector = Collector()
+        collector.observe("serving.handle_seconds.point", 0.004)
+        collector.observe("serving.handle_seconds.point", 0.005)
+        histogram = collector.histogram("serving.handle_seconds.point")
+        assert histogram is not None and histogram.count == 2
+        assert not collector.is_empty()
+
+    def test_merge_folds_histograms_across_collectors(self):
+        worker = Collector()
+        worker.observe("serving.handle_seconds.point", 0.004)
+        parent = Collector()
+        parent.observe("serving.handle_seconds.point", 0.006)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("serving.handle_seconds.point")
+        assert merged.count == 2
+
+    def test_reset_histograms_keeps_lifetime_counters(self):
+        collector = Collector()
+        collector.count("serving.requests", 5)
+        collector.observe("serving.handle_seconds.point", 0.004)
+        collector.reset_histograms()
+        assert collector.histograms == {}
+        assert collector.counter("serving.requests") == 5
+
+    def test_null_collector_observe_is_a_noop(self):
+        null = NullCollector()
+        null.observe("serving.handle_seconds.point", 0.004)
+        assert null.histograms == {}
+        assert null.is_empty()
+
+    def test_module_level_observe_routes_to_the_scoped_collector(self):
+        # Without a scope, obs.observe dispatches to the NULL default.
+        obs.observe("orphan.histogram", 1.0)
+        collector = Collector()
+        with obs.collecting(collector):
+            obs.observe("scoped.histogram", 0.002)
+        assert collector.histogram("scoped.histogram").count == 1
+        assert obs.get_collector().is_noop

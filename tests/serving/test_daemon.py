@@ -140,6 +140,47 @@ class TestTcp:
         assert collector.counter("serving.queries") == 1
         assert collector.counter("serving.sessions") == 1
 
+    def test_concurrent_recording_keeps_histograms_consistent(self, graph):
+        # N sessions hammer the daemon in parallel; afterwards the
+        # merged serving.handle_seconds family must account for every
+        # request exactly once — no torn snapshots, no lost updates.
+        from repro.obs.histogram import Histogram
+
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        clients, per_client = 8, 25
+        failures: list[Exception] = []
+
+        def client(seed: int) -> None:
+            try:
+                lines = [
+                    json.dumps({"op": "query", "v": (seed + i) % 24, "k": 3})
+                    for i in range(per_client)
+                ]
+                answers = self._ask(handle.address, lines)
+                assert all(a["ok"] for a in answers)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        with obs.collecting() as collector:
+            with serve_tcp(
+                engine, ServeSettings(workers=4), background=True
+            ) as handle:
+                threads = [
+                    threading.Thread(target=client, args=(n,))
+                    for n in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=60)
+        assert not failures
+        merged = Histogram()
+        for name, snapshot in collector.histogram_snapshots().items():
+            if name.startswith("serving.handle_seconds."):
+                merged.merge(snapshot)
+        assert merged.count == clients * per_client
+        assert collector.counter("serving.queries") == clients * per_client
+
     def test_session_survives_malformed_line(self, graph):
         engine = QueryEngine(graph, KvccIndex.build(graph))
         with serve_tcp(engine, background=True) as handle:
