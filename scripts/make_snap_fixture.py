@@ -1,0 +1,128 @@
+"""Generate a SNAP-style edge-list fixture for the streaming loader.
+
+Usage:
+    python scripts/make_snap_fixture.py -o snap_fixture.txt
+
+The fixture exercises everything ``--format snap`` must tolerate at a
+realistic scale (>= 100k distinct edges by default): ``#`` and ``%``
+comment headers, tab- and space-separated pairs, trailing extra
+columns, self-loop lines, and duplicate edges in both orientations.
+
+The topology is chosen so ``ripple enumerate -k 3`` finishes quickly
+despite the size: a large random recursive tree (acyclic, so the
+3-core prune deletes it wholesale) decorated with disjoint k-cliques
+hanging off tree vertices. The k-VCCs of the result are exactly the
+planted cliques, which makes the expected component count a one-line
+assertion in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+
+def emit_lines(
+    cliques: int,
+    clique_size: int,
+    fringe: int,
+    seed: int,
+):
+    """Yield the fixture's lines (without trailing newlines)."""
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+
+    # Random recursive tree: vertex i attaches to a uniform earlier
+    # vertex. Trees are acyclic, so none of this survives a 3-core.
+    for v in range(1, fringe):
+        edges.append((rng.randrange(v), v))
+
+    # Disjoint (clique_size)-cliques above the fringe label range, each
+    # tethered to the tree by one edge (a pendant attachment adds no
+    # core structure).
+    first_clique_vertex = fringe
+    label = first_clique_vertex
+    for _ in range(cliques):
+        members = list(range(label, label + clique_size))
+        label += clique_size
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.append((u, v))
+        edges.append((members[0], rng.randrange(fringe)))
+
+    expected_components = cliques
+    distinct = len(edges)
+
+    yield "# SNAP-style fixture (scripts/make_snap_fixture.py)"
+    yield f"# Nodes: {label} Edges: {distinct}"
+    yield f"% planted {expected_components} {clique_size}-cliques on a random tree"
+    yield "# FromNodeId\tToNodeId"
+
+    # Interleave the noise the loader must absorb: duplicates (both
+    # orientations), self-loops, tab separators, extra columns.
+    duplicates = rng.sample(range(distinct), min(400, distinct))
+    flip = set(duplicates[len(duplicates) // 2 :])
+    noise_at = {
+        position: index for index, position in enumerate(duplicates)
+    }
+    for position, (u, v) in enumerate(edges):
+        if position % 3 == 0:
+            yield f"{u}\t{v}"
+        elif position % 997 == 0:
+            yield f"{u} {v} 1.0"
+        else:
+            yield f"{u} {v}"
+        index = noise_at.get(position)
+        if index is not None:
+            yield (f"{v} {u}" if position in flip else f"{u} {v}")
+            if index % 2 == 0:
+                yield f"{u} {u}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, required=True, help="output path"
+    )
+    parser.add_argument(
+        "--cliques", type=int, default=36, help="planted cliques (default 36)"
+    )
+    parser.add_argument(
+        "--clique-size", type=int, default=14, help="clique order (default 14)"
+    )
+    parser.add_argument(
+        "--fringe",
+        type=int,
+        default=97_000,
+        help="random-tree vertices (default 97000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20260808, help="RNG seed"
+    )
+    args = parser.parse_args(argv)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    lines = 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        for line in emit_lines(
+            args.cliques, args.clique_size, args.fringe, args.seed
+        ):
+            handle.write(line + "\n")
+            lines += 1
+    distinct = (
+        args.fringe
+        - 1
+        + args.cliques
+        * (args.clique_size * (args.clique_size - 1) // 2 + 1)
+    )
+    print(
+        f"wrote {args.output}: {lines} lines, {distinct} distinct edges, "
+        f"{args.cliques} planted {args.clique_size}-cliques"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

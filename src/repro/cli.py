@@ -46,7 +46,7 @@ from repro.bench import experiments, reporting
 from repro.core.ripple import ripple, ripple_me
 from repro.core.vcce_bu import vcce_bu
 from repro.core.vcce_td import vcce_td
-from repro.datasets.registry import DATASETS
+from repro.datasets.registry import DATASETS, load_snap_graph
 from repro.errors import IndexCorruptionError, ReproError
 from repro.flow import fastpath
 from repro.graph.io import read_edge_list
@@ -142,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats_flags(enum)
     enum.add_argument("path", help="edge-list file (u v per line)")
     enum.add_argument("-k", type=int, required=True, help="connectivity")
+    enum.add_argument(
+        "--format",
+        choices=("edgelist", "snap"),
+        default="edgelist",
+        dest="input_format",
+        help="input format: 'edgelist' (permissive reader) or 'snap' "
+        "(streaming loader: '#'/'%%' headers, self-loops and duplicate "
+        "edges dropped with counters, '.gz' accepted, builds the "
+        "flat-array CSR snapshot directly; default: edgelist)",
+    )
     enum.add_argument(
         "--algorithm",
         choices=sorted([*_ALGORITHMS, "parallel-ripple"]),
@@ -498,7 +508,10 @@ def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_enumerate(args: argparse.Namespace, runinfo: dict) -> int:
-    graph = read_edge_list(args.path, allow_self_loops=True)
+    if args.input_format == "snap":
+        graph = load_snap_graph(args.path)
+    else:
+        graph = read_edge_list(args.path, allow_self_loops=True)
     deadline = (
         Deadline(args.deadline) if args.deadline is not None else None
     )

@@ -38,7 +38,7 @@ from repro.errors import ParameterError
 from repro.flow import fastpath
 from repro.flow.network import VertexSplitNetwork
 from repro.graph.adjacency import Graph
-from repro.graph.cliques import maximal_cliques_at_least
+from repro.graph.cliques import collect_cliques_at_least
 from repro.graph.forests import certificate_for_flow
 
 __all__ = [
@@ -176,6 +176,28 @@ def _shrink_candidates(
     """
     config = fastpath.active()
     current = set(candidates)
+    # Degree peel: max_flow(u → σ) is capped by u's degree inside the
+    # scope ``S ∪ C``, so a candidate below k inside-degree can never
+    # survive any filter pass — and dropping it shrinks its neighbours'
+    # scope degrees, so the peel cascades (a k-core of the candidate
+    # region, anchored on the seed). The ME fixpoint is the *maximal*
+    # feasible subset and every feasible subset lives inside the peeled
+    # core, so the surviving set is untouched; what the peel removes is
+    # network builds and flow calls for hopeless one-round scopes.
+    neighbors = graph.neighbors
+    scope = members | current
+    inside_degree = {u: len(neighbors(u) & scope) for u in current}
+    peel = [u for u, d in inside_degree.items() if d < k]
+    while peel:
+        u = peel.pop()
+        current.discard(u)
+        obs.count("expansion.me.degree_peeled")
+        for v in neighbors(u):
+            d = inside_degree.get(v)
+            if d is not None and v in current:
+                inside_degree[v] = d - 1
+                if d == k:
+                    peel.append(v)
     network: VertexSplitNetwork | None = None
     certified = False
     while current:
@@ -295,7 +317,9 @@ def _ring_pass(
         if len(snapshot) < k + 1 - r:
             continue
         ring_subgraph = graph.subgraph(snapshot)
-        for clique in maximal_cliques_at_least(ring_subgraph, k + 1 - r):
+        # The enumeration reads only the immutable ring snapshot, so
+        # the eager list sees exactly what lazy iteration would.
+        for clique in collect_cliques_at_least(ring_subgraph, k + 1 - r):
             timer.count("rme_clique_checks")
             if any(v not in buckets[r] for v in clique):
                 continue  # a member was absorbed or promoted meanwhile

@@ -64,12 +64,14 @@ def neighbor_based_merge_condition(
     overlap = side_a & side_b
     pure_a = side_a - side_b
     pure_b = side_b - side_a
-    # Pure neighbours of A inside B: vertices of B \ A adjacent to A \ B.
+    # Pure neighbours of A inside B: vertices of B \ A adjacent to A \ B
+    # (isdisjoint early-exits without materialising the intersection).
+    neighbors = graph.neighbors
     neighbors_in_b = {
-        v for v in pure_b if graph.neighbors(v) & pure_a
+        v for v in pure_b if not pure_a.isdisjoint(neighbors(v))
     }
     neighbors_in_a = {
-        v for v in pure_a if graph.neighbors(v) & pure_b
+        v for v in pure_a if not pure_b.isdisjoint(neighbors(v))
     }
     verdict = (
         len(overlap) + min(len(neighbors_in_b), len(neighbors_in_a)) >= k
@@ -96,13 +98,16 @@ def flow_based_merge_condition(
     # if each pure side has ≥ k - overlap boundary vertices — checked
     # with an early-exit scan before paying for a network build.
     needed = k - overlap
-    for near, far in (
-        (side_a - side_b, side_b - side_a),
-        (side_b - side_a, side_a - side_b),
-    ):
+    # Direct private-dict access: the scan probes every pure-side
+    # vertex on the ~97% of tests the bound rejects, and the accessor
+    # costs a Python frame per probe.
+    adj = graph._adj
+    pure_a = side_a - side_b
+    pure_b = side_b - side_a
+    for near, far in ((pure_a, pure_b), (pure_b, pure_a)):
         boundary = 0
         for v in near:
-            if graph.neighbors(v) & far:
+            if not far.isdisjoint(adj[v]):
                 boundary += 1
                 if boundary >= needed:
                     break
@@ -141,22 +146,108 @@ def merge_components(
 
     Only pairs that touch (shared vertices or at least one crossing
     edge) are ever tested — disjoint far-apart subgraphs can never be
-    k-connected together. Touching pairs are found through an inverted
-    vertex→component index rather than a pairwise rescan, pairs
-    already rejected are skipped until one side changes, and merges
-    update the index incrementally; the sequence of condition
-    evaluations (and therefore the result) matches the naive
-    all-pairs scan exactly.
+    k-connected together. The touch relation is computed **once**, in
+    stable component-uid space, from an inverted vertex→component
+    index (on dense CSR ids when the host graph carries a current
+    snapshot, on labels otherwise): merging never adds graph edges, so
+    ``touching(A ∪ B) = touching(A) ∪ touching(B)`` and a merge just
+    unions the two sides' touch sets, with uids of absorbed components
+    resolved through an absorbed-into map at query time. No vertex is
+    ever rescanned after the initial pass. Pairs already rejected are
+    skipped until one side changes (uid + version memo); the sequence
+    of condition evaluations (and therefore the result) matches the
+    naive all-pairs scan exactly.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
     timer = timer or PhaseTimer()
     pool = [set(c) for c in components]
+    # CSR fast path: with a current flat snapshot of the host graph,
+    # the one-time inverted-index pass runs on dense integer ids (one
+    # plain-list row per vertex) instead of label sets. The touch sets
+    # are identical either way, so the evaluation sequence — and the
+    # result — does not change.
+    csr = None
+    if fastpath.active().csr:
+        getter = getattr(graph, "csr_if_current", None)
+        if getter is not None:
+            csr = getter()
+    ids_pool: list[set] | None = None
+    if csr is not None:
+        lookup = csr.index.__getitem__
+        try:
+            ids_pool = [set(map(lookup, c)) for c in pool]
+        except KeyError:
+            # A component vertex outside the snapshot (caller passed a
+            # stale graph): stay on the label path.
+            ids_pool = None
+
+    # One vertex-level pass: touch[uid] = uids of every component that
+    # shares a vertex with uid's component or is adjacent to it. The
+    # pass goes through per-vertex *reach* sets (owners of the closed
+    # neighbourhood): components overlap heavily, so computing each
+    # vertex's reach once and multi-unioning per component does far
+    # less set work than rescanning every member's adjacency per
+    # component — with an identical result.
+    if ids_pool is not None:
+        owner_of: list = [None] * csr.n
+        for uid, component in enumerate(ids_pool):
+            for g in component:
+                owners = owner_of[g]
+                if owners is None:
+                    owners = owner_of[g] = set()
+                owners.add(uid)
+        rows = csr.rows_list()
+        reach: list = [None] * csr.n
+        for g, owners in enumerate(owner_of):
+            if owners is None:
+                continue
+            found: set = set(owners)
+            for w in rows[g]:
+                others = owner_of[w]
+                if others is not None:
+                    found |= others
+            reach[g] = found
+        touch: list[set] = [
+            set().union(*map(reach.__getitem__, component))
+            for component in ids_pool
+        ]
+    else:
+        owner_map: dict = {}
+        for uid, component in enumerate(pool):
+            for v in component:
+                owner_map.setdefault(v, set()).add(uid)
+        neighbors = graph.neighbors
+        get_owner = owner_map.get
+        reach_map: dict = {}
+        for v, owners in owner_map.items():
+            found = set(owners)
+            for w in neighbors(v):
+                others = get_owner(w)
+                if others is not None:
+                    found |= others
+            reach_map[v] = found
+        touch = [
+            set().union(*map(reach_map.__getitem__, component))
+            for component in pool
+        ]
+
     # Component identity survives merges (the absorbing side keeps its
     # uid, bumping its version), so a rejected pair needs re-testing
-    # only when one side's (uid, version) changed.
-    uids = list(range(len(pool)))
-    versions = [0] * len(pool)
+    # only when one side's (uid, version) changed. ``absorbed_into``
+    # maps a dead uid to its absorber; chasing it resolves any stale
+    # uid in a touch set to the component that now owns its vertices.
+    total = len(pool)
+    uids = list(range(total))
+    versions = [0] * total
+    # uids are dense 0..total-1 and never grow, so the absorbed-into
+    # map and the per-round position map are plain lists (indexing
+    # beats dict probes in ``touching``, the hottest merge-driver loop).
+    absorbed_into: list[int | None] = [None] * total
+    # The active collector cannot change mid-call (it is installed
+    # around the whole pipeline, thread-locally), so probe once whether
+    # anything is recording instead of per condition test.
+    plain = obs.get_collector().is_noop
     rejected: set[tuple] = set()
     merged_any = True
     round_no = 0
@@ -168,31 +259,39 @@ def merge_components(
         with obs.start_span(
             "merge.round", round=round_no, pool=len(pool)
         ):
+            sizes = [len(component) for component in pool]
             order = sorted(
-                range(len(pool)), key=lambda p: len(pool[p]), reverse=True
+                range(len(pool)), key=sizes.__getitem__, reverse=True
             )
             pool = [pool[p] for p in order]
             uids = [uids[p] for p in order]
             versions = [versions[p] for p in order]
-            member_index: dict = {}
-            for position, component in enumerate(pool):
-                for v in component:
-                    member_index.setdefault(v, set()).add(position)
+            position_of: list = [None] * total
+            for p, uid in enumerate(uids):
+                position_of[uid] = p
             alive = [True] * len(pool)
             alive_count = len(pool)
             alive_before = 0  # alive positions strictly below i
+            skipped_by_index = 0
 
-            def touching(vertices) -> set[int]:
-                """Positions of components sharing or adjacent to ``vertices``."""
+            def touching(touched: set) -> set[int]:
+                """Current alive positions of a uid-space touch set."""
                 found: set[int] = set()
-                for v in vertices:
-                    owners = member_index.get(v)
-                    if owners:
-                        found |= owners
-                    for w in graph.neighbors(v):
-                        owners = member_index.get(w)
-                        if owners:
-                            found |= owners
+                found_add = found.add
+                for uid in touched:
+                    root = absorbed_into[uid]
+                    if root is not None:
+                        # Chase to the live absorber, compressing the
+                        # path so the next query resolves in one hop.
+                        parent = absorbed_into[root]
+                        while parent is not None:
+                            root = parent
+                            parent = absorbed_into[root]
+                        absorbed_into[uid] = root
+                        uid = root
+                    p = position_of[uid]
+                    if p is not None and alive[p]:
+                        found_add(p)
                 return found
 
             for i in range(len(pool)):
@@ -201,7 +300,7 @@ def merge_components(
                 current = pool[i]
                 beyond = alive_count - alive_before - 1
                 candidates = [
-                    p for p in touching(current) if p > i and alive[p]
+                    p for p in touching(touch[uids[i]]) if p > i
                 ]
                 heapq.heapify(candidates)
                 queued = set(candidates)
@@ -218,21 +317,28 @@ def merge_components(
                         obs.count("merge.tests_memoized")
                         continue
                     other = pool[j]
-                    with obs.start_span(
-                        "merge.test",
-                        pair=[i, j],
-                        sizes=[len(current), len(other)],
-                    ):
+                    if plain:
+                        # Uninstrumented runs skip the span machinery
+                        # (and its attribute-list allocations) — this
+                        # is the innermost loop of the merge phase.
                         accepted = condition(graph, k, current, other, timer)
-                        obs.set_span_attrs(accepted=accepted)
+                    else:
+                        with obs.start_span(
+                            "merge.test",
+                            pair=[i, j],
+                            sizes=[len(current), len(other)],
+                        ):
+                            accepted = condition(
+                                graph, k, current, other, timer
+                            )
+                            obs.set_span_attrs(accepted=accepted)
                     if not accepted:
                         rejected.add(key)
                         continue
-                    for v in other:
-                        owners = member_index[v]
-                        owners.discard(j)
-                        owners.add(i)
                     current |= other
+                    other_touch = touch[uids[j]]
+                    touch[uids[i]] |= other_touch
+                    absorbed_into[uids[j]] = uids[i]
                     alive[j] = False
                     alive_count -= 1
                     versions[i] += 1
@@ -242,14 +348,15 @@ def merge_components(
                     # one did not; only positions past the scan pointer
                     # matter (earlier ones get retried next round, just
                     # as the naive scan would).
-                    for p in touching(other):
+                    for p in touching(other_touch):
                         if p > last and alive[p] and p not in queued:
                             queued.add(p)
                             heapq.heappush(candidates, p)
-                obs.count(
-                    "merge.pairs_skipped_by_index", max(0, beyond - examined)
-                )
+                skipped_by_index += max(0, beyond - examined)
                 alive_before += 1
+            # One emission per round (the counter is a sum either way);
+            # per-seed emission was a measurable slice of the driver.
+            obs.count("merge.pairs_skipped_by_index", skipped_by_index)
             pool = [c for c, a in zip(pool, alive) if a]
             uids = [u for u, a in zip(uids, alive) if a]
             versions = [v for v, a in zip(versions, alive) if a]

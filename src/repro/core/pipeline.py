@@ -200,6 +200,11 @@ def bottom_up_pipeline(
                 core = k_core(graph, k)
             if core.num_vertices <= k:
                 return VCCResult([], k=k, algorithm=name, timer=timer)
+            if fastpath.active().csr:
+                # Prime the flat-array snapshot once: the core never
+                # mutates below this point, so every flow network and
+                # merge round shares it (see repro.graph.csr).
+                core.csr()
 
             if resume is None:
                 if budget.expired():
@@ -247,9 +252,9 @@ def bottom_up_pipeline(
                 if order == "merge_first"
                 else (expand_step, merge_step)
             )
+            before = {frozenset(c) for c in components}
             while True:
                 round_no += 1
-                before = {frozenset(c) for c in components}
                 components = first(components)
                 if budget.expired():
                     return stopped("deadline")
@@ -258,6 +263,7 @@ def bottom_up_pipeline(
                 timer.count("rounds")
                 if after == before:
                     break
+                before = after
                 if budget.expired():
                     return stopped("deadline")
     except KeyboardInterrupt:

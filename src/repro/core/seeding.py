@@ -33,7 +33,7 @@ from repro.core.result import PhaseTimer
 from repro.errors import ParameterError
 from repro.flow.connectivity import find_vertex_cut, is_k_vertex_connected
 from repro.graph.adjacency import Graph
-from repro.graph.cliques import maximal_cliques_at_least
+from repro.graph.cliques import collect_cliques_at_least
 from repro.graph.forests import k_bfs_seed_components
 from repro.graph.kcore import k_core
 from repro.graph.traversal import connected_components
@@ -172,10 +172,9 @@ def clique_seeds(
 ) -> list[set]:
     """Seeds from maximal cliques of size ≥ k+1 (BK-MCQ stage)."""
     timer = timer or PhaseTimer()
-    seeds = []
-    for clique in maximal_cliques_at_least(graph, k + 1):
-        timer.count("cliques_found")
-        seeds.append(set(clique))
+    seeds = [set(c) for c in collect_cliques_at_least(graph, k + 1)]
+    if seeds:
+        timer.count("cliques_found", len(seeds))
     return seeds
 
 
@@ -243,7 +242,15 @@ def qkvcs(
     obs.count("seeding.clique_seeds", len(from_cliques))
     obs.count("seeding.kbfs_seeds", len(from_kbfs))
 
-    seeds = _dedupe(from_kbfs + from_cliques)
+    if from_kbfs:
+        seeds = _dedupe(from_kbfs + from_cliques)
+    else:
+        # Distinct maximal cliques never duplicate or contain each
+        # other, so deduping them alone reduces to _dedupe's output
+        # order (size-descending, stable) over fresh copies.
+        seeds = [
+            set(c) for c in sorted(from_cliques, key=len, reverse=True)
+        ]
     covered = kbfs_covered | clique_covered
     with obs.start_span("seeding.fallback"):
         fallback = lkvcs_seeds(
@@ -255,7 +262,10 @@ def qkvcs(
         len(set().union(*fallback)) if fallback else 0,
     )
     obs.count("seeding.fallback_seeds", len(fallback))
-    final = _dedupe(seeds + fallback)
+    # ``seeds`` is already deduplicated and emerges from _dedupe in
+    # size-sorted order, so re-deduping it alone is the identity map —
+    # only an actual fallback contribution needs the second pass.
+    final = _dedupe(seeds + fallback) if fallback else seeds
     obs.count("seeding.seeds", len(final))
     obs.trace_event(
         "seeding.qkvcs",
@@ -268,10 +278,39 @@ def qkvcs(
 
 
 def _dedupe(seeds: list[set]) -> list[set]:
-    """Drop duplicate seeds and seeds fully contained in a larger one."""
+    """Drop duplicate seeds and seeds fully contained in a larger one.
+
+    Containment is checked through an inverted vertex → kept-seed
+    index: a seed can only be contained in a kept seed that owns its
+    rarest member, so each candidate compares against that member's
+    owner list instead of every kept seed (the naive all-pairs scan is
+    quadratic in the seed count and was a measured hot spot). The kept
+    list is identical to the naive scan's.
+    """
     unique: list[set] = []
+    owners: dict = {}  # vertex -> indices of kept seeds containing it
+    owners_get = owners.get
     for seed in sorted(seeds, key=len, reverse=True):
-        if any(seed <= kept for kept in unique):
-            continue
-        unique.append(set(seed))
+        rarest: list | None = None
+        uncovered = not seed and bool(unique)
+        for v in seed:
+            holding = owners_get(v)
+            if not holding:
+                rarest = None
+                break
+            if rarest is None or len(holding) < len(rarest):
+                rarest = holding
+        else:
+            # Every member is owned somewhere (or the seed is empty —
+            # contained in any kept seed, matching ``seed <= kept``).
+            if uncovered or (
+                rarest is not None
+                and any(seed <= unique[at] for at in rarest)
+            ):
+                continue
+        at = len(unique)
+        kept = set(seed)
+        unique.append(kept)
+        for v in kept:
+            owners.setdefault(v, []).append(at)
     return unique

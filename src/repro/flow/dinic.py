@@ -39,12 +39,27 @@ class Dinic:
     arrays; the reverse edge of edge ``i`` is ``i ^ 1``.
     """
 
-    __slots__ = ("n", "head", "to", "cap", "next_edge", "dirty", "_level", "_iter")
+    __slots__ = (
+        "n",
+        "head",
+        "to",
+        "cap",
+        "next_edge",
+        "dirty",
+        "_level",
+        "_iter",
+        "_blank",
+    )
 
     def __init__(self, n: int) -> None:
         if n < 0:
             raise ParameterError(f"n must be non-negative, got {n}")
         self.n = n
+        # Plain Python int lists, deliberately not array('q'): the hot
+        # loops read and write individual elements, where list access
+        # to cached small ints beats the box/unbox cost an array pays
+        # per element on CPython. Compact array('q') storage lives in
+        # repro.graph.csr, where rows are sliced in bulk instead.
         self.head = [-1] * n
         self.to: list[int] = []
         self.cap: list[int] = []
@@ -54,6 +69,9 @@ class Dinic:
         self.dirty: set[int] = set()
         self._level = [0] * n
         self._iter = [0] * n
+        # Reset template: level[:] = _blank is one C-level copy versus
+        # an n-step Python loop per BFS phase.
+        self._blank = [-1] * n
 
     def add_edge(self, u: int, v: int, capacity: int) -> int:
         """Add directed edge ``u → v`` with the given integer capacity.
@@ -81,6 +99,32 @@ class Dinic:
         self.next_edge.append(self.head[v])
         self.head[v] = index + 1
         return index
+
+    def add_split_pairs(self) -> int:
+        """Lay out the ``n / 2`` unit split arcs ``2i → 2i+1`` directly.
+
+        Equivalent to ``add_edges(list(range(n)), 1)`` on a freshly
+        constructed even-``n`` network — the first thing every
+        vertex-split network does — but because no arcs exist yet the
+        intrusive head/next chains are fully predictable and all five
+        parallel arrays come out of whole-array operations instead of a
+        per-pair Python loop. Returns the first edge index (0).
+        """
+        if self.to:
+            raise ParameterError(
+                "add_split_pairs requires a network with no arcs yet"
+            )
+        n = self.n
+        if n % 2:
+            raise ParameterError(f"n must be even for split pairs, got {n}")
+        to = [0] * n
+        to[0::2] = range(1, n, 2)
+        to[1::2] = range(0, n, 2)
+        self.to = to
+        self.cap = [1, 0] * (n // 2)
+        self.next_edge = [-1] * n
+        self.head = list(range(n))
+        return 0
 
     def add_edges(self, endpoints: list[int], capacity: int) -> int:
         """Bulk :meth:`add_edge` at one shared capacity.
@@ -124,14 +168,13 @@ class Dinic:
         # need a Python-level loop.
         head = self.head
         next_append = self.next_edge.append
-        index = first
         it = iter(endpoints)
-        for u, v in zip(it, it):
+        arc_starts = range(first, first + len(endpoints), 2)
+        for index, u, v in zip(arc_starts, it, it):
             next_append(head[u])
             head[u] = index
             next_append(head[v])
             head[v] = index + 1
-            index += 2
         return first
 
     def restore_capacities(self, caps0: list[int], full: bool = False) -> int:
@@ -159,14 +202,14 @@ class Dinic:
     def _bfs(self, source: int, sink: int) -> bool:
         """Build the level graph; True iff the sink is reachable."""
         level = self._level
-        for i in range(self.n):
-            level[i] = -1
+        level[:] = self._blank
         level[source] = 0
         queue = deque((source,))
         to, cap, nxt = self.to, self.cap, self.next_edge
+        head = self.head
         while queue:
             u = queue.popleft()
-            e = self.head[u]
+            e = head[u]
             while e != -1:
                 v = to[e]
                 if cap[e] > 0 and level[v] < 0:
@@ -191,10 +234,11 @@ class Dinic:
         dirty = self.dirty
         path_edges: list[int] = []
         total = 0
+        augmentations = 0
         vertex = u
         while True:
             if vertex == sink:
-                obs.count("flow.dinic.augmentations")
+                augmentations += 1
                 bottleneck = pushed - total
                 for e in path_edges:
                     if cap[e] < bottleneck:
@@ -205,6 +249,9 @@ class Dinic:
                 dirty.update(path_edges)
                 total += bottleneck
                 if total >= pushed:
+                    # Counter flushes are batched per phase: the value
+                    # is identical, the per-augmentation call is not.
+                    obs.count("flow.dinic.augmentations", augmentations)
                     return total
                 # Retreat to just before the first saturated edge.
                 cut = len(path_edges)
@@ -227,6 +274,10 @@ class Dinic:
             else:
                 level[vertex] = -1  # dead end: prune for this phase
                 if not path_edges:
+                    if augmentations:
+                        obs.count(
+                            "flow.dinic.augmentations", augmentations
+                        )
                     return total
                 path_edges.pop()
                 vertex = u if not path_edges else to[path_edges[-1]]

@@ -1,6 +1,6 @@
 """Runtime switches for the flow-engine fast path.
 
-The fast path is a bundle of three independently toggleable
+The fast path is a bundle of four independently toggleable
 optimisations (see ``docs/performance.md``):
 
 * **dirty reset** — :class:`repro.flow.network.VertexSplitNetwork`
@@ -11,7 +11,13 @@ optimisations (see ``docs/performance.md``):
   rebuilding from scratch;
 * **certificate** — ME and FBM flow tests on dense induced subgraphs
   run on the Cheriyan–Kao–Thurimella sparse certificate (at most
-  ``k(n-1)`` edges) instead of the full subgraph.
+  ``k(n-1)`` edges) instead of the full subgraph;
+* **csr** — network construction and merge-candidate discovery run on
+  the host graph's flat-array CSR snapshot
+  (:class:`repro.graph.CsrGraph`) when one is current, skipping the
+  per-neighbour set machinery of the dict substrate. The environment
+  variable ``REPRO_FASTPATH_CSR=0`` turns it off process-wide (the CI
+  legacy-path job uses this).
 
 Every optimisation is exact: enumeration output is identical with any
 combination toggled off (``tests/test_fastpath.py`` asserts this
@@ -26,6 +32,7 @@ collector scoping: :func:`configured` overrides for a block,
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -36,6 +43,14 @@ __all__ = [
     "active",
     "configured",
 ]
+
+
+def _csr_env_default() -> bool:
+    """The ``csr`` default: on unless ``REPRO_FASTPATH_CSR`` disables it."""
+    value = os.environ.get("REPRO_FASTPATH_CSR")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
 
 
 @dataclass(frozen=True)
@@ -61,15 +76,29 @@ class FastPathConfig:
     #: factor of 2 guarantees at least a halving of flow work.
     certificate_factor: float = 2.0
 
+    #: Drive network construction and merge-candidate discovery from
+    #: the host graph's cached CSR snapshot when one is current
+    #: (``Graph.csr_if_current``). Arc layout and results are
+    #: byte-identical to the dict path.
+    csr: bool = True
 
-DEFAULT = FastPathConfig()
 
-_tls = threading.local()
+DEFAULT = FastPathConfig(csr=_csr_env_default())
+
+
+class _Local(threading.local):
+    # Class-attribute fallback: threads that never override read the
+    # module default via plain attribute lookup (``active`` sits on
+    # per-test and per-network-build paths).
+    config: FastPathConfig = DEFAULT
+
+
+_tls = _Local()
 
 
 def active() -> FastPathConfig:
     """The thread's active fast-path configuration."""
-    return getattr(_tls, "config", DEFAULT)
+    return _tls.config
 
 
 @contextmanager

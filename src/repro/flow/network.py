@@ -8,9 +8,16 @@ becomes the two arcs ``u_out → v_in`` and ``v_out → u_in``. A flow from
 
 :class:`VertexSplitNetwork` builds the arc structure once per graph and
 resets capacities between queries, so repeated local-connectivity tests
-(the inner loop of ME and FBM) do not rebuild adjacency arrays. Two
-fast-path mechanics keep repeated queries cheap (both exact, both
-toggleable via :mod:`repro.flow.fastpath`):
+(the inner loop of ME and FBM) do not rebuild adjacency arrays. Three
+fast-path mechanics keep construction and repeated queries cheap (all
+exact, all toggleable via :mod:`repro.flow.fastpath`):
+
+* **CSR construction** — when the host graph carries a current
+  :class:`repro.graph.CsrGraph` snapshot (see ``fastpath.csr``), the
+  arc layout is emitted straight from the snapshot's sorted integer
+  rows: no per-member set intersection, no eager adjacency dict (the
+  :meth:`adjacent` query answers from the snapshot instead). The
+  resulting Dinic arc arrays are byte-identical to the dict path's;
 
 * **dirty reset** — the reset between queries restores only the arcs
   the previous query touched (``Dinic.dirty``), turning the per-query
@@ -33,6 +40,7 @@ constructing the network, via :meth:`VertexSplitNetwork.with_virtual`.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Hashable, Iterable
 
 from repro import obs
@@ -64,7 +72,8 @@ class VertexSplitNetwork:
         "_caps0",
         "_caps_build",
         "_adjacent",
-        "_internal_arc",
+        "_csr",
+        "_virtual_attach",
         "_arcs_of",
         "_blocks",
         "_disabled",
@@ -78,12 +87,15 @@ class VertexSplitNetwork:
         members: Iterable[Hashable] | None = None,
         virtual_sources: dict[Hashable, Iterable[Hashable]] | None = None,
     ) -> None:
-        member_set = (
-            graph.vertex_set() if members is None else set(members)
-        )
-        missing = [u for u in member_set if not graph.has_vertex(u)]
-        if missing:
-            raise GraphError(f"members not in graph: {missing[:5]!r}")
+        if members is None:
+            member_set = graph.vertex_set()
+        else:
+            member_set = set(members)
+            if not member_set.issubset(graph.vertex_view()):
+                missing = sorted(
+                    member_set.difference(graph.vertex_view()), key=repr
+                )
+                raise GraphError(f"members not in graph: {missing[:5]!r}")
         virtuals = virtual_sources or {}
         collisions = set(virtuals) & member_set
         if collisions:
@@ -92,20 +104,45 @@ class VertexSplitNetwork:
             )
 
         obs.count("flow.network.builds")
+        config = fastpath.active()
+        # Fast path: when the host graph carries a *current* CSR
+        # snapshot whose id order is the natural label order, the
+        # deterministic sorted layout below can be reproduced straight
+        # from the flat rows — no per-member set intersections, no
+        # eager adjacency dict. Certificate hosts and ad-hoc subgraphs
+        # have no cached snapshot and fall through to the dict path.
+        csr = None
+        if config.csr:
+            getter = getattr(graph, "csr_if_current", None)
+            if getter is not None:
+                csr = getter()
+            if csr is not None and not csr.natural_order:
+                # A subset of a repr-sorted label universe may sort
+                # differently on its own; ids cannot stand in for
+                # sorted labels, so take the dict path.
+                csr = None
+            if csr is None:
+                obs.count("flow.csr.fallbacks")
+
         # Index members in sorted order so the arc layout does not
         # depend on set iteration order (hash randomisation); repr is
         # the tie-break for label sets no natural order covers. Virtual
         # labels follow in their mapping's insertion order.
-        try:
-            member_order = sorted(member_set)
-        except TypeError:
-            member_order = sorted(member_set, key=repr)
-        self._index: dict[Hashable, int] = {}
-        for u in member_order:
-            self._index[u] = len(self._index)
+        if csr is not None:
+            gids = sorted(map(csr.index.__getitem__, member_set))
+            labels = csr.labels
+            member_order = [labels[g] for g in gids]
+        else:
+            try:
+                member_order = sorted(member_set)
+            except TypeError:
+                member_order = sorted(member_set, key=repr)
+        index: dict[Hashable, int] = {
+            u: i for i, u in enumerate(member_order)
+        }
         for label in virtuals:
-            self._index[label] = len(self._index)
-        index = self._index
+            index[label] = len(index)
+        self._index = index
 
         n = len(index)
         dinic = Dinic(2 * n)
@@ -118,53 +155,88 @@ class VertexSplitNetwork:
         # first and in index order, so label i's internal arc sits at
         # edge index 2i — and the flattened (2i, 2i+1) pair list is
         # just 0..2n-1.
-        first = dinic.add_edges(list(range(2 * n)), 1)
-        self._internal_arc: dict[Hashable, int] = {
-            label: first + 2 * i for label, i in index.items()
-        }
+        dinic.add_split_pairs()
         # Edge arcs must exceed any possible flow value so minimum cuts
         # cross only internal arcs — that is what lets min_vertex_cut
         # read the cut as a set of *vertices*. Total flow is capped by
         # the n unit internal arcs, so 2n + 1 is safely "infinite".
         big = 2 * n + 1
         endpoints: list[int] = []
-        append = endpoints.append
-        adjacent: dict[Hashable, set] = {}
-        self._adjacent = adjacent
-        neighbors = graph.neighbors
-        for ui, u in enumerate(member_order):
-            inside = neighbors(u) & member_set
-            adjacent[u] = inside
-            # Each undirected edge is laid out once, from its lower
-            # index; sorting the (halved) index list keeps the arc
-            # layout independent of set iteration order.
-            upper = [vi for v in inside if (vi := index[v]) > ui]
-            upper.sort()
-            out = 2 * ui + 1
-            for vi in upper:
-                append(out)
-                append(2 * vi)
-                append(2 * vi + 1)
-                append(2 * ui)
-        for label, attached in virtuals.items():
-            attach_set = set(attached)
-            outside = attach_set - member_set
-            if outside:
-                raise ParameterError(
-                    f"virtual vertex {label!r} attaches outside members: "
-                    f"{sorted(map(repr, outside))[:5]}"
-                )
-            adjacent[label] = attach_set
-            li = index[label]
-            l_out = 2 * li + 1
-            attach_indices = [index[v] for v in attach_set]
-            attach_indices.sort()
-            for vi in attach_indices:
-                adjacent[member_order[vi]].add(label)
-                append(l_out)
-                append(2 * vi)
-                append(2 * vi + 1)
-                append(2 * li)
+        if csr is not None:
+            obs.count("flow.csr.network_builds")
+            self._adjacent = None
+            self._csr = csr
+            # Member rows are sorted by global id, and local indices
+            # ascend with global ids over the member subset, so the
+            # upper-index arcs come out already sorted — byte-identical
+            # to the dict path's sorted layout.
+            local_get = dict(zip(gids, range(len(gids)))).get
+            rows = csr.rows_list()
+            for ui, g in enumerate(gids):
+                out = 2 * ui + 1
+                base = 2 * ui
+                row = rows[g]
+                # Rows are sorted and local indices ascend with global
+                # ids, so ``vi > ui`` is exactly ``gv > g`` — bisect to
+                # the upper tail and probe membership only there.
+                for gv in row[bisect_right(row, g):]:
+                    vi = local_get(gv)
+                    if vi is not None:
+                        # One in-place tuple extend per arc instead of
+                        # four append calls — this pair loop dominates
+                        # construction on the CSR path.
+                        endpoints += (out, 2 * vi, 2 * vi + 1, base)
+            self._virtual_attach: dict[Hashable, set] | None = {}
+            for label, attached in virtuals.items():
+                attach_set = set(attached)
+                outside = attach_set - member_set
+                if outside:
+                    raise ParameterError(
+                        f"virtual vertex {label!r} attaches outside "
+                        f"members: {sorted(map(repr, outside))[:5]}"
+                    )
+                self._virtual_attach[label] = attach_set
+                li = index[label]
+                l_out = 2 * li + 1
+                l_in = 2 * li
+                attach_indices = sorted(map(index.__getitem__, attach_set))
+                for vi in attach_indices:
+                    endpoints += (l_out, 2 * vi, 2 * vi + 1, l_in)
+        else:
+            self._csr = None
+            self._virtual_attach = None
+            adjacent: dict[Hashable, set] = {}
+            self._adjacent = adjacent
+            neighbors = graph.neighbors
+            for ui, u in enumerate(member_order):
+                inside = neighbors(u) & member_set
+                adjacent[u] = inside
+                # Each undirected edge is laid out once, from its lower
+                # index; sorting the (halved) index list keeps the arc
+                # layout independent of set iteration order.
+                upper = [vi for v in inside if (vi := index[v]) > ui]
+                upper.sort()
+                out = 2 * ui + 1
+                base = 2 * ui
+                for vi in upper:
+                    endpoints += (out, 2 * vi, 2 * vi + 1, base)
+            for label, attached in virtuals.items():
+                attach_set = set(attached)
+                outside = attach_set - member_set
+                if outside:
+                    raise ParameterError(
+                        f"virtual vertex {label!r} attaches outside "
+                        f"members: {sorted(map(repr, outside))[:5]}"
+                    )
+                adjacent[label] = attach_set
+                li = index[label]
+                l_out = 2 * li + 1
+                l_in = 2 * li
+                attach_indices = [index[v] for v in attach_set]
+                attach_indices.sort()
+                for vi in attach_indices:
+                    adjacent[member_order[vi]].add(label)
+                    endpoints += (l_out, 2 * vi, 2 * vi + 1, l_in)
         dinic.add_edges(endpoints, big)
         self._dinic = dinic
         self._caps0 = list(dinic.cap)
@@ -175,7 +247,7 @@ class VertexSplitNetwork:
         self._caps_build = self._caps0
         self._blocks: dict[int, int] = {}
         self._disabled: set = set()
-        self._dirty_reset = fastpath.active().dirty_reset
+        self._dirty_reset = config.dirty_reset
         self._queries = 0
 
     @classmethod
@@ -201,7 +273,25 @@ class VertexSplitNetwork:
 
     def adjacent(self, u: Hashable, v: Hashable) -> bool:
         """Whether ``u`` and ``v`` are adjacent inside the network."""
-        return v in self._adjacent[u]
+        adjacent = self._adjacent
+        if adjacent is not None:
+            return v in adjacent[u]
+        # CSR-built network: virtual adjacency from the attach sets,
+        # member adjacency from the snapshot's sorted rows. Unknown
+        # ``u`` raises KeyError exactly like the dict path.
+        attach = self._virtual_attach
+        attached = attach.get(u)
+        if attached is not None:
+            return v in attached
+        index = self._index
+        if u not in index:
+            raise KeyError(u)
+        attached = attach.get(v)
+        if attached is not None:
+            return u in attached
+        if v not in index:
+            return False
+        return self._csr.has_edge_labels(u, v)
 
     def is_disabled(self, u: Hashable) -> bool:
         """Whether ``u`` is currently soft-removed by :meth:`disable_vertex`."""

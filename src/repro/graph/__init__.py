@@ -11,6 +11,7 @@ from repro.graph.cliques import (
     maximal_cliques,
     maximal_cliques_at_least,
 )
+from repro.graph.csr import CsrGraph
 from repro.graph.forests import (
     bfs_forest,
     k_bfs_forests,
@@ -57,6 +58,7 @@ from repro.graph.traversal import (
 
 __all__ = [
     "CommunitySpec",
+    "CsrGraph",
     "Graph",
     "attach_mixed_chains",
     "attach_support_pairs",

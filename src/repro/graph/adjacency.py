@@ -14,9 +14,13 @@ and parallel edges collapse silently (adjacency is a set).
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
 
+from repro import obs
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.csr import CsrGraph
 
 Vertex = TypeVar("Vertex", bound=Hashable)
 
@@ -33,13 +37,22 @@ class Graph:
     (3, 3)
     >>> sorted(g.neighbors(2))
     [1, 3]
+
+    A flat-array CSR snapshot (:class:`repro.graph.CsrGraph`) can be
+    obtained via :meth:`csr`; it is cached per adjacency version and
+    invalidated by any mutation, so read-heavy phases pay one build.
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version", "_csr", "_csr_version")
 
     def __init__(self) -> None:
         self._adj: dict[Hashable, set] = {}
         self._num_edges = 0
+        # Adjacency version, bumped on every mutation; the CSR cache
+        # remembers which version it snapshotted.
+        self._version = 0
+        self._csr: CsrGraph | None = None
+        self._csr_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -74,6 +87,7 @@ class Graph:
         """Add an isolated vertex (no-op if already present)."""
         if u not in self._adj:
             self._adj[u] = set()
+            self._version += 1
 
     def add_edge(self, u: Hashable, v: Hashable) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -89,6 +103,7 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._num_edges += 1
+            self._version += 1
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove the edge ``{u, v}``; raise if it does not exist."""
@@ -98,6 +113,7 @@ class Graph:
         except KeyError as exc:
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist") from exc
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, u: Hashable) -> None:
         """Remove ``u`` and all incident edges; raise if absent."""
@@ -107,11 +123,39 @@ class Graph:
             self._adj[v].remove(u)
         self._num_edges -= len(self._adj[u])
         del self._adj[u]
+        self._version += 1
 
     def remove_vertices(self, vertices: Iterable[Hashable]) -> None:
-        """Remove every vertex in ``vertices`` (each must exist)."""
-        for u in list(vertices):
-            self.remove_vertex(u)
+        """Remove every vertex in ``vertices`` (each must exist).
+
+        Bulk form of :meth:`remove_vertex`: edges between two doomed
+        vertices are dropped without ever updating the partner's
+        adjacency set, so removing a whole region costs one pass over
+        its incident edges instead of one set discard per half-edge.
+        """
+        doomed = (
+            vertices
+            if isinstance(vertices, (set, frozenset))
+            else set(vertices)
+        )
+        adj = self._adj
+        missing = [u for u in doomed if u not in adj]
+        if missing:
+            raise GraphError(f"vertex {missing[0]!r} does not exist")
+        if not doomed:
+            return
+        internal = 0
+        external = 0
+        for u in doomed:
+            for v in adj[u]:
+                if v in doomed:
+                    internal += 1
+                else:
+                    adj[v].remove(u)
+                    external += 1
+            del adj[u]
+        self._num_edges -= external + internal // 2
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -134,6 +178,15 @@ class Graph:
     def vertex_set(self) -> set:
         """Return a fresh set of all vertices."""
         return set(self._adj)
+
+    def vertex_view(self):
+        """A read-only, set-like live view of the vertices.
+
+        Supports C-speed membership and set algebra without the copy
+        :meth:`vertex_set` pays — the flow-network constructor checks
+        its member set against this on every build.
+        """
+        return self._adj.keys()
 
     def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
         """Iterate over each undirected edge exactly once."""
@@ -175,6 +228,41 @@ class Graph:
         if not self._adj:
             raise GraphError("empty graph has no minimum degree")
         return min(len(nbrs) for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # CSR snapshot cache
+    # ------------------------------------------------------------------
+
+    def csr(self) -> "CsrGraph":
+        """The CSR snapshot of the current adjacency (cached).
+
+        The snapshot is rebuilt lazily after any mutation; read-only
+        phases therefore share one flat-array copy no matter how many
+        consumers ask. See :class:`repro.graph.CsrGraph`.
+        """
+        if self._csr is not None and self._csr_version == self._version:
+            obs.count("graph.csr.reuses")
+            return self._csr
+        from repro.graph.csr import CsrGraph
+
+        self._csr = CsrGraph.from_graph(self)
+        self._csr_version = self._version
+        return self._csr
+
+    def csr_if_current(self) -> "CsrGraph | None":
+        """The cached CSR snapshot if still valid, else ``None``.
+
+        Unlike :meth:`csr` this never builds: hot paths use it so only
+        graphs a caller deliberately primed take the flat-array route.
+        """
+        if self._csr is not None and self._csr_version == self._version:
+            return self._csr
+        return None
+
+    def _prime_csr(self, snapshot: "CsrGraph") -> None:
+        """Seed the CSR cache (used by ``CsrGraph.to_graph``)."""
+        self._csr = snapshot
+        self._csr_version = self._version
 
     # ------------------------------------------------------------------
     # Subgraphs and boundaries

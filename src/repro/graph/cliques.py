@@ -24,7 +24,12 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.kcore import degeneracy_ordering
 
-__all__ = ["maximal_cliques", "maximal_cliques_at_least", "max_clique_size"]
+__all__ = [
+    "collect_cliques_at_least",
+    "maximal_cliques",
+    "maximal_cliques_at_least",
+    "max_clique_size",
+]
 
 
 def _expand(
@@ -33,27 +38,63 @@ def _expand(
     candidates: set,
     excluded: set,
     min_size: int,
-) -> Iterator[frozenset]:
-    """Bron–Kerbosch with Tomita pivoting and min-size pruning."""
+    out: list,
+) -> None:
+    """Bron–Kerbosch with Tomita pivoting and min-size pruning.
+
+    Appends maximal cliques to ``out`` eagerly (in DFS discovery
+    order) instead of yielding them: the recursion runs tens of
+    thousands of frames per enumeration, and a generator chain pays a
+    generator object per frame plus a ``yield from`` hop per clique
+    per level. The public entry points remain lazy per outer root.
+    """
     if not candidates and not excluded:
         if len(clique) >= min_size:
-            yield frozenset(clique)
+            out.append(frozenset(clique))
         return
     if len(clique) + len(candidates) < min_size:
         return
     # Tomita pivot: vertex of P ∪ X with the most neighbours in P, which
-    # minimises the number of branches explored below this frame.
-    pivot = max(
-        candidates | excluded,
-        key=lambda u: len(graph.neighbors(u) & candidates),
-    )
-    for v in list(candidates - graph.neighbors(pivot)):
-        nbrs = graph.neighbors(v)
-        clique.append(v)
-        yield from _expand(
-            graph, clique, candidates & nbrs, excluded & nbrs, min_size
-        )
-        clique.pop()
+    # minimises the number of branches explored below this frame. The
+    # explicit strict-improvement loop keeps ``max``'s first-wins
+    # tie-break over the same union-set iteration order while avoiding
+    # a key-lambda call per element. Adjacency is read straight off the
+    # graph's private dict: this loop is the single hottest call site
+    # in seeding and the ``neighbors()`` accessor costs a Python frame
+    # per probe.
+    adj = graph._adj
+    limit = len(candidates)
+    best = -1
+    pivot = None
+    for u in candidates | excluded:
+        score = len(adj[u] & candidates)
+        if score > best:
+            best = score
+            pivot = u
+            if score == limit:
+                # Perfect pivot (adjacent to all of P): no later vertex
+                # can strictly beat it, so first-wins is already fixed.
+                break
+    # The branch set is a fresh temporary, so mutating ``candidates``
+    # and ``excluded`` mid-loop cannot disturb the iteration.
+    for v in candidates - adj[pivot]:
+        nbrs = adj[v]
+        new_candidates = candidates & nbrs
+        # Resolve would-be leaf frames inline (in the same DFS emission
+        # order the recursive call would produce): an empty candidate
+        # set can only yield the current clique itself, and a branch
+        # whose ceiling is below min_size yields nothing — most frames
+        # of the recursion are one of these two.
+        if not new_candidates:
+            if len(clique) + 1 >= min_size and excluded.isdisjoint(nbrs):
+                out.append(frozenset((*clique, v)))
+        elif len(clique) + 1 + len(new_candidates) >= min_size:
+            clique.append(v)
+            _expand(
+                graph, clique, new_candidates, excluded & nbrs,
+                min_size, out,
+            )
+            clique.pop()
         candidates.discard(v)
         excluded.add(v)
 
@@ -77,11 +118,39 @@ def maximal_cliques_at_least(
     position = {u: i for i, u in enumerate(order)}
     for u in order:
         nbrs = graph.neighbors(u)
-        later = {v for v in nbrs if position[v] > position[u]}
+        pu = position[u]
+        later = {v for v in nbrs if position[v] > pu}
         earlier = set(nbrs) - later
         if 1 + len(later) < min_size:
             continue
-        yield from _expand(graph, [u], later, earlier, min_size)
+        found: list = []
+        _expand(graph, [u], later, earlier, min_size, found)
+        yield from found
+
+
+def collect_cliques_at_least(graph: Graph, min_size: int) -> list[frozenset]:
+    """Eager form of :func:`maximal_cliques_at_least`.
+
+    Returns the same cliques in the same order as the generator, but
+    appends every root's findings into one list — full-enumeration
+    consumers (seeding, RME rings) drain the generator anyway, and the
+    per-clique resumption cost is measurable there. Early-exit callers
+    (:func:`max_clique_size`) should keep the lazy form.
+    """
+    if min_size < 1:
+        raise ParameterError(f"min_size must be >= 1, got {min_size}")
+    order = degeneracy_ordering(graph)
+    position = {u: i for i, u in enumerate(order)}
+    adj = graph._adj
+    found: list = []
+    for u in order:
+        nbrs = adj[u]
+        pu = position[u]
+        later = {v for v in nbrs if position[v] > pu}
+        if 1 + len(later) < min_size:
+            continue
+        _expand(graph, [u], later, set(nbrs) - later, min_size, found)
+    return found
 
 
 def cliques_from_roots(
@@ -103,11 +172,14 @@ def cliques_from_roots(
         raise ParameterError(f"min_size must be >= 1, got {min_size}")
     for u in roots:
         nbrs = graph.neighbors(u)
-        later = {v for v in nbrs if position[v] > position[u]}
+        pu = position[u]
+        later = {v for v in nbrs if position[v] > pu}
         earlier = set(nbrs) - later
         if 1 + len(later) < min_size:
             continue
-        yield from _expand(graph, [u], later, earlier, min_size)
+        found: list = []
+        _expand(graph, [u], later, earlier, min_size, found)
+        yield from found
 
 
 def max_clique_size(graph: Graph) -> int:

@@ -10,10 +10,15 @@ the bottom-up pipeline.
 
 from __future__ import annotations
 
+from itertools import chain
+
 from repro import obs
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
-from repro.graph.traversal import bfs_tree_edges, connected_components
+from repro.graph.traversal import (
+    _bfs_tree_edges_avoiding,
+    connected_components,
+)
 
 __all__ = [
     "bfs_forest",
@@ -32,16 +37,33 @@ def bfs_forest(
     ``forbidden_edges`` holds frozensets of endpoints. Every vertex is
     covered: a fresh BFS tree is grown from each yet-unvisited vertex.
     """
+    used_adj: dict = {}
+    for edge in forbidden_edges:
+        u, v = edge
+        used_adj.setdefault(u, set()).add(v)
+        used_adj.setdefault(v, set()).add(u)
+    return _forest_avoiding(graph, used_adj)
+
+
+def _forest_avoiding(
+    graph: Graph, used_adj: dict
+) -> list[tuple[object, object]]:
+    """:func:`bfs_forest` on the incremental dict-of-sets form.
+
+    The k-round construction scans every graph edge once per round, so
+    the forbidden-edge probe is the hot operation: a per-vertex set
+    lookup here versus a frozenset allocation per scanned edge in the
+    public-API form. Traversal order — and thus the forests — are
+    identical.
+    """
     covered: set = set()
     forest: list[tuple[object, object]] = []
     for root in graph.vertices():
         if root in covered:
             continue
-        tree = bfs_tree_edges(graph, root, forbidden_edges=forbidden_edges)
+        tree = _bfs_tree_edges_avoiding(graph, root, used_adj)
         covered.add(root)
-        for u, v in tree:
-            covered.add(u)
-            covered.add(v)
+        covered.update(chain.from_iterable(tree))
         forest.extend(tree)
     return forest
 
@@ -50,12 +72,14 @@ def k_bfs_forests(graph: Graph, k: int) -> list[list[tuple[object, object]]]:
     """The k successive edge-disjoint BFS forests ``F_1 … F_k``."""
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
-    used: set = set()
+    used_adj: dict = {}
     forests: list[list[tuple[object, object]]] = []
     for _ in range(k):
-        forest = bfs_forest(graph, forbidden_edges=used)
+        forest = _forest_avoiding(graph, used_adj)
         forests.append(forest)
-        used.update(frozenset(edge) for edge in forest)
+        for u, v in forest:
+            used_adj.setdefault(u, set()).add(v)
+            used_adj.setdefault(v, set()).add(u)
     return forests
 
 

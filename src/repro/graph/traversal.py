@@ -50,18 +50,57 @@ def bfs_tree_edges(
     """
     if not graph.has_vertex(source):
         raise GraphError(f"source {source!r} not in graph")
-    forbidden = forbidden_edges or set()
+    used_adj: dict = {}
+    for edge in forbidden_edges or ():
+        u, v = edge
+        used_adj.setdefault(u, set()).add(v)
+        used_adj.setdefault(v, set()).add(u)
+    return _bfs_tree_edges_avoiding(graph, source, used_adj)
+
+
+def _bfs_tree_edges_avoiding(
+    graph: Graph, source: Hashable, used_adj: dict
+) -> list[tuple[Hashable, Hashable]]:
+    """:func:`bfs_tree_edges` with forbidden edges as a dict of sets.
+
+    ``used_adj`` maps a vertex to the set of neighbours it must not
+    reach directly. The k-round forest construction keeps this
+    structure incrementally (:mod:`repro.graph.forests`), turning the
+    per-scanned-edge frozenset construction of the public API into one
+    set-membership probe. Traversal order is identical.
+    """
     tree: list[tuple[Hashable, Hashable]] = []
     seen = {source}
     queue = deque((source,))
+    # Private-dict subscript instead of the ``neighbors()`` accessor:
+    # every dequeued vertex pays this lookup, and each round of the
+    # k-round construction dequeues the whole graph.
+    neighbors = graph._adj.__getitem__
+    get_used = used_adj.get
+    seen_add = seen.add
+    tree_append = tree.append
+    queue_append = queue.append
     while queue:
         u = queue.popleft()
-        for v in graph.neighbors(u):
-            if v in seen or frozenset((u, v)) in forbidden:
-                continue
-            seen.add(v)
-            tree.append((u, v))
-            queue.append(v)
+        blocked = get_used(u)
+        # Round 1 of the k-round construction (and any vertex with no
+        # forbidden incident edges) skips the blocked probe entirely —
+        # the scan touches every graph edge, so one membership test per
+        # edge is measurable. Traversal order is unchanged.
+        if blocked:
+            for v in neighbors(u):
+                if v in seen or v in blocked:
+                    continue
+                seen_add(v)
+                tree_append((u, v))
+                queue_append(v)
+        else:
+            for v in neighbors(u):
+                if v in seen:
+                    continue
+                seen_add(v)
+                tree_append((u, v))
+                queue_append(v)
     return tree
 
 

@@ -68,7 +68,15 @@ __all__ = [
 #: The process-wide no-op default every thread starts with.
 NULL = NullCollector()
 
-_tls = threading.local()
+
+class _Local(threading.local):
+    # Class-attribute fallback: a thread that never installed a
+    # collector reads the shared no-op through plain attribute lookup,
+    # sparing the hot module-level helpers a ``getattr`` default.
+    collector: Collector = NULL
+
+
+_tls = _Local()
 
 # Pick up REPRO_TRACE from the environment as soon as the library is
 # imported, so `REPRO_TRACE=1 python script.py` needs no code changes.
@@ -77,7 +85,7 @@ trace.configure_from_env()
 
 def get_collector() -> Collector:
     """The thread's active collector (the shared no-op by default)."""
-    return getattr(_tls, "collector", NULL)
+    return _tls.collector
 
 
 def set_collector(collector: Collector) -> Collector:
@@ -114,45 +122,63 @@ def collecting(
 
 def count(name: str, amount: int = 1) -> None:
     """Bump a counter on the active collector."""
-    getattr(_tls, "collector", NULL).count(name, amount)
+    collector = _tls.collector
+    if collector.is_noop:
+        # Early-out without a method dispatch: instrumentation sites in
+        # flow/merge inner loops run millions of times uninstrumented,
+        # and the gated perf cases time exactly that configuration.
+        return
+    collector.count(name, amount)
 
 
 def add_seconds(name: str, seconds: float) -> None:
     """Accumulate seconds into a phase on the active collector."""
-    getattr(_tls, "collector", NULL).add_seconds(name, seconds)
+    _tls.collector.add_seconds(name, seconds)
 
 
 def observe(name: str, seconds: float) -> None:
     """Record one latency observation into a histogram on the active
     collector (a no-op under the null default)."""
-    getattr(_tls, "collector", NULL).observe(name, seconds)
+    _tls.collector.observe(name, seconds)
 
 
 def span(name: str):
     """Context manager timing its block on the active collector."""
-    return getattr(_tls, "collector", NULL).span(name)
+    return _tls.collector.span(name)
 
 
 def start_span(name: str, **attrs):
     """Open a hierarchical span on the active collector (context
     manager; a no-op unless spans are enabled on it)."""
-    return getattr(_tls, "collector", NULL).start_span(name, **attrs)
+    collector = _tls.collector
+    if collector.is_noop:
+        return spans.NULL_SPAN
+    return collector.start_span(name, **attrs)
 
 
 def span_event(name: str, **attrs) -> None:
     """Record a zero-duration marker span on the active collector."""
-    getattr(_tls, "collector", NULL).span_event(name, **attrs)
+    collector = _tls.collector
+    if collector.is_noop:
+        return
+    collector.span_event(name, **attrs)
 
 
 def agg_span(name: str):
     """Time one hot leaf call into the current span's aggregates
     (context manager; cheaper than a tree node per call)."""
-    return getattr(_tls, "collector", NULL).agg_span(name)
+    collector = _tls.collector
+    if collector.is_noop:
+        return spans.NULL_SPAN
+    return collector.agg_span(name)
 
 
 def set_span_attrs(**attrs) -> None:
     """Attach attributes to the current span on the active collector."""
-    getattr(_tls, "collector", NULL).set_span_attrs(**attrs)
+    collector = _tls.collector
+    if collector.is_noop:
+        return
+    collector.set_span_attrs(**attrs)
 
 
 def trace_event(event: str, **fields) -> None:

@@ -26,10 +26,16 @@ from repro.graph.generators import (
 # Each toggle individually off, plus everything off (the pre-fast-path
 # behaviour); the default-on run is the reference.
 TOGGLES = [
+    {"csr": False},
     {"dirty_reset": False},
     {"reuse_networks": False},
     {"certificate": False},
-    {"dirty_reset": False, "reuse_networks": False, "certificate": False},
+    {
+        "csr": False,
+        "dirty_reset": False,
+        "reuse_networks": False,
+        "certificate": False,
+    },
 ]
 
 
@@ -108,15 +114,22 @@ class TestDifferential:
 
 
 def _pendant_clique():
-    """A K8 plus a pendant vertex with only k-1 = 2 anchors.
+    """A K8 plus two mutually-adjacent pendants sharing two anchors.
 
-    ME from a 4-vertex seed keeps the clique remainder but must drop
-    the pendant: pass 1 shrinks (drop), pass 2 confirms the fixed
-    point on the reused network.
+    Each pendant has k = 3 neighbours inside the ME scope (the two
+    shared anchors plus the other pendant), so the degree peel cannot
+    discard it — but only 2 vertex-disjoint paths reach σ (every route
+    funnels through anchors 0 and 1). ME from a 4-vertex seed keeps
+    the clique remainder but must drop both pendants by flow: pass 1
+    shrinks (drop), pass 2 confirms the fixed point on the reused
+    network.
     """
     graph = clique_graph(8)
     graph.add_edge(100, 0)
     graph.add_edge(100, 1)
+    graph.add_edge(101, 0)
+    graph.add_edge(101, 1)
+    graph.add_edge(100, 101)
     return graph
 
 
@@ -124,21 +137,24 @@ class TestCounters:
     """The fast path reports what it does through repro.obs."""
 
     def test_dirty_reset_counters(self):
-        graph = planted_kvcc_graph(3, 30, 4, seed=0)
+        # The two-pendant scope runs several flows over one reused
+        # network, so the second and later queries restore the arcs
+        # the previous query touched.
+        graph = _pendant_clique()
         with obs.collecting() as on:
-            ripple_me(graph, 4)
+            multiple_expansion(graph, 3, {0, 1, 2, 3})
         assert on.counter("flow.reset.dirty_edges") > 0
         assert on.counter("flow.reset.full") == 0
         with fastpath.configured(dirty_reset=False):
             with obs.collecting() as off:
-                ripple_me(graph, 4)
+                multiple_expansion(graph, 3, {0, 1, 2, 3})
         assert off.counter("flow.reset.dirty_edges") == 0
         assert off.counter("flow.reset.full") > 0
 
     def test_network_reuse_counters(self):
-        graph = planted_kvcc_graph(3, 30, 4, seed=0)
+        graph = _pendant_clique()
         with obs.collecting() as collector:
-            ripple_me(graph, 4)
+            multiple_expansion(graph, 3, {0, 1, 2, 3})
         assert collector.counter("flow.network.builds") > 0
         assert collector.counter("flow.network.reuses") > 0
 
