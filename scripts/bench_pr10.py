@@ -1,0 +1,230 @@
+"""Benchmark the asyncio backend + shard router for the PR-10 trajectory.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_pr10.py [--output-dir DIR]
+        [--trajectory-out FILE] [--quick]
+
+Three measured configurations, all via the PR-6 open-loop harness
+(fresh daemon subprocess per repetition, seeded schedules, warmup
+excluded):
+
+* ``smoke`` scenario against the **threaded** backend — the gated
+  baseline;
+* ``smoke`` scenario against the **asyncio** backend
+  (``ripple serve --backend aio``) — must clear the same committed
+  ``benchmarks/baselines/loadtest_gate.json`` thresholds the threaded
+  backend is gated on (rps floor, p95 ceiling, both
+  calibration-scaled);
+* ``sharded`` scenario against the asyncio backend with a 3-shard,
+  2-replica router (``--shards 3 --replicas 2``) — the scatter-gather
+  overhead on batch/scan-heavy traffic.
+
+Writes ``benchmarks/trajectory/BENCH_pr10.json`` (commit this) and
+exits non-zero if the aio backend misses the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import statistics
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.perfgate import calibrate  # noqa: E402
+from repro.graph.generators import planted_kvcc_graph  # noqa: E402
+from repro.graph.io import write_edge_list  # noqa: E402
+from repro.loadtest import (  # noqa: E402
+    get_scenario,
+    run_scenario,
+    write_run_table,
+    write_samples_jsonl,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT_DIR = ROOT / "benchmarks" / "results" / "loadtest_pr10"
+DEFAULT_TRAJECTORY = ROOT / "benchmarks" / "trajectory" / "BENCH_pr10.json"
+GATE = ROOT / "benchmarks" / "baselines" / "loadtest_gate.json"
+
+GRAPH_ARGS = (3, 30, 4)
+GRAPH_SEED = 7
+TOPOLOGY = "planted-3x30-k4"
+
+#: (case key, scenario, run_scenario overrides)
+CONFIGS = (
+    ("serve-aio/smoke-thread", "smoke", {"daemon_backend": "thread"}),
+    ("serve-aio/smoke-aio", "smoke", {"daemon_backend": "aio"}),
+    (
+        "serve-aio/sharded-aio-3x2",
+        "sharded",
+        {"daemon_backend": "aio", "daemon_shards": 3, "daemon_replicas": 2},
+    ),
+)
+
+
+def _median(values) -> float:
+    cleaned = [v for v in values if v == v]
+    return round(statistics.median(cleaned), 6) if cleaned else float("nan")
+
+
+def _case(rows, extra: dict) -> dict:
+    return {
+        **extra,
+        "offered_rps": rows[0].offered_rps,
+        "repetitions": len(rows),
+        "achieved_rps_median": _median(r.achieved_rps for r in rows),
+        "p50_latency_ms_median": _median(r.p50_latency_ms for r in rows),
+        "p95_latency_ms_median": _median(r.p95_latency_ms for r in rows),
+        "p99_latency_ms_median": _median(r.p99_latency_ms for r in rows),
+        "server_p95_ms_median": _median(r.server_p95_ms for r in rows),
+        "failure_rate_max": max(r.failure_rate for r in rows),
+        "shed_requests_total": sum(r.shed_requests for r in rows),
+        "rss_peak_mb_max": max(r.rss_peak_mb for r in rows),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir", type=Path, default=DEFAULT_OUTPUT_DIR
+    )
+    parser.add_argument(
+        "--trajectory-out", type=Path, default=DEFAULT_TRAJECTORY
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="one repetition per config"
+    )
+    args = parser.parse_args(argv)
+
+    gate = json.loads(GATE.read_text(encoding="utf-8"))
+    calibration_s = calibrate()
+    # Same normalisation the CI load gate applies: a slower machine
+    # relaxes the ceiling and the floor by its measured slowness.
+    slowness = max(calibration_s / gate["calibration_s"], 1e-9)
+    rps_floor = gate["rps_floor"] / slowness
+    p95_ceiling_ms = gate["p95_ceiling_ms"] * slowness
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    samples_path = args.output_dir / "samples.jsonl"
+    samples_path.write_text("", encoding="utf-8")
+
+    all_rows, cases = [], {}
+    with tempfile.TemporaryDirectory(prefix="ripple-bench-pr10-") as tmp:
+        graph_path = Path(tmp) / "smoke.edges"
+        write_edge_list(
+            planted_kvcc_graph(*GRAPH_ARGS, seed=GRAPH_SEED), graph_path
+        )
+        for key, scenario_name, overrides in CONFIGS:
+            scenario = get_scenario(scenario_name)
+            if args.quick:
+                scenario = scenario.with_overrides(repetitions=1)
+            print(
+                f"running {key}: scenario {scenario.name!r}, "
+                f"{scenario.offered_rps:g} rps x {scenario.duration_s:g}s "
+                f"x {scenario.repetitions} rep(s), {overrides}"
+            )
+            outcome = run_scenario(
+                scenario,
+                graph_path,
+                topology=TOPOLOGY,
+                calibration_s=calibration_s,
+                **overrides,
+            )
+            all_rows.extend(outcome.rows)
+            for repetition, samples in sorted(outcome.samples.items()):
+                write_samples_jsonl(
+                    samples_path, key, repetition, samples
+                )
+            cases[key] = _case(
+                outcome.rows,
+                {
+                    "description": (
+                        f"{scenario.name} scenario on {TOPOLOGY} via "
+                        f"{overrides.get('daemon_backend')} backend"
+                        + (
+                            f", {overrides['daemon_shards']} shards x "
+                            f"{overrides['daemon_replicas']} replicas"
+                            if "daemon_shards" in overrides
+                            else ""
+                        )
+                    ),
+                },
+            )
+
+    write_run_table(args.output_dir / "run_table.csv", all_rows)
+
+    aio = cases["serve-aio/smoke-aio"]
+    gate_report = {
+        "gate": "benchmarks/baselines/loadtest_gate.json",
+        "calibration_s": round(calibration_s, 6),
+        "slowness": round(slowness, 3),
+        "rps_floor_scaled": round(rps_floor, 3),
+        "p95_ceiling_ms_scaled": round(p95_ceiling_ms, 3),
+        "aio_achieved_rps_median": aio["achieved_rps_median"],
+        "aio_p95_latency_ms_median": aio["p95_latency_ms_median"],
+        "aio_clears_rps_floor": aio["achieved_rps_median"] >= rps_floor,
+        "aio_within_p95_ceiling": (
+            aio["p95_latency_ms_median"] <= p95_ceiling_ms
+        ),
+        "aio_failure_rate_max": aio["failure_rate_max"],
+    }
+
+    document = {
+        "schema": "repro.bench-trajectory/1",
+        "pr": 10,
+        "date": datetime.date.today().isoformat(),
+        "title": (
+            "Async sharded serving: asyncio daemon backend vs threaded, "
+            "plus the k-core shard router with read replicas"
+        ),
+        "method": (
+            "scripts/bench_pr10.py: the PR-6 open-loop harness drives "
+            "the smoke scenario at a fresh daemon subprocess per "
+            "repetition — once with --backend thread, once with "
+            "--backend aio — and the batch/scan-heavy sharded scenario "
+            "at an aio daemon routing over 3 shards x 2 replicas. "
+            "Medians across repetitions; the aio smoke case is checked "
+            "against the committed loadtest_gate.json thresholds under "
+            "the same calibration scaling CI applies."
+        ),
+        "calibration_s": round(calibration_s, 6),
+        "topology": TOPOLOGY,
+        "gate_check": gate_report,
+        "cases": cases,
+    }
+    args.trajectory_out.parent.mkdir(parents=True, exist_ok=True)
+    args.trajectory_out.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+    for key, case in cases.items():
+        print(
+            f"{key}: {case['achieved_rps_median']:.1f}/"
+            f"{case['offered_rps']:g} rps, "
+            f"p95 {case['p95_latency_ms_median']:.2f} ms, "
+            f"max failure rate {case['failure_rate_max']:.4f}"
+        )
+    print(f"wrote {args.trajectory_out}")
+
+    if not (
+        gate_report["aio_clears_rps_floor"]
+        and gate_report["aio_within_p95_ceiling"]
+        and aio["failure_rate_max"] == 0
+    ):
+        print(
+            f"FAIL: aio backend misses the load gate "
+            f"(rps {aio['achieved_rps_median']} vs floor "
+            f"{rps_floor:.1f}, p95 {aio['p95_latency_ms_median']} ms "
+            f"vs ceiling {p95_ceiling_ms:.1f} ms)"
+        )
+        return 1
+    print("bench-pr10: OK — aio clears the threaded backend's gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,11 +79,19 @@ class DaemonProcess:
         access_log: str | os.PathLike | None = None,
         metrics_port: int | None = None,
         extra_env: dict[str, str] | None = None,
+        backend: str | None = None,
+        shards: int | None = None,
+        replicas: int | None = None,
     ) -> None:
         self.graph_path = os.fspath(graph_path)
         self.index_path = (
             os.fspath(index_path) if index_path is not None else None
         )
+        #: Daemon backend (``serve --backend``): "thread", "aio", or
+        #: None for the CLI default.
+        self.backend = backend
+        self.shards = shards
+        self.replicas = replicas
         self.workers = workers
         self.request_timeout = request_timeout
         self.cache_size = cache_size
@@ -134,6 +142,12 @@ class DaemonProcess:
         ]
         if self.index_path is not None:
             command += ["--index", self.index_path]
+        if self.backend is not None:
+            command += ["--backend", self.backend]
+        if self.shards is not None:
+            command += ["--shards", str(self.shards)]
+        if self.replicas is not None:
+            command += ["--replicas", str(self.replicas)]
         if self.request_timeout is not None:
             command += ["--request-timeout", str(self.request_timeout)]
         if self.max_k is not None:
@@ -311,6 +325,9 @@ def run_scenario(
     daemon_access_log: str | os.PathLike | None = None,
     daemon_metrics_port: int | None = None,
     daemon_env: dict[str, str] | None = None,
+    daemon_backend: str | None = None,
+    daemon_shards: int | None = None,
+    daemon_replicas: int | None = None,
 ) -> RunOutcome:
     """Run every repetition of one scenario; returns rows + raw samples.
 
@@ -331,7 +348,9 @@ def run_scenario(
     each repetition's fresh daemon re-arms the plan from scratch). A
     spawned daemon that *dies* mid-run raises :class:`LoadTestError`
     with its stderr tail: a crashed daemon is never reported as an
-    ordinary slow run.
+    ordinary slow run. ``daemon_backend``/``daemon_shards``/
+    ``daemon_replicas`` forward ``serve --backend/--shards/--replicas``
+    so the same scenario can gate both backends, sharded or not.
     """
     graph_path = os.fspath(graph_path)
     if calibration_s is None:
@@ -368,6 +387,9 @@ def run_scenario(
                     access_log=daemon_access_log,
                     metrics_port=daemon_metrics_port,
                     extra_env=daemon_env,
+                    backend=daemon_backend,
+                    shards=daemon_shards,
+                    replicas=daemon_replicas,
                 )
                 target = daemon.start()
                 pid = daemon.pid

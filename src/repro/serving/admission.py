@@ -153,6 +153,22 @@ class AdmissionTicket:
         self.release()
 
 
+class _WaitReservation:
+    """A reserved (but not yet redeemed) queue slot.
+
+    Returned by :meth:`AdmissionController.admit_nowait` when the
+    request must wait: the waiter count was already incremented under
+    the admission lock, so the shed bound holds even before anyone
+    blocks. Redeem with :meth:`AdmissionController.finish_wait` on
+    whichever thread may block."""
+
+    __slots__ = ("klass", "queued_at")
+
+    def __init__(self, klass: str, queued_at: float) -> None:
+        self.klass = klass
+        self.queued_at = queued_at
+
+
 class AdmissionController:
     """Bounded admission with per-class queue partitions (module doc)."""
 
@@ -200,6 +216,26 @@ class AdmissionController:
         slot; by construction at most ``max_queue`` requests are ever
         blocked here. ``block`` policy never sheds.
         """
+        outcome = self.admit_nowait(klass)
+        if isinstance(outcome, _WaitReservation):
+            return self.finish_wait(outcome)
+        return outcome
+
+    def admit_nowait(
+        self, klass: str
+    ) -> "AdmissionTicket | _WaitReservation | None":
+        """The non-blocking admission decision, in one lock hold.
+
+        Three outcomes: an :class:`AdmissionTicket` (a worker slot was
+        free — admitted immediately), ``None`` (shed: the queue bound
+        or the class cap is full), or a :class:`_WaitReservation` — a
+        *reserved queue slot* the caller must redeem with
+        :meth:`finish_wait` (which blocks) or nothing holds it open.
+        The split lets an event loop decide admission inline and park
+        only the genuinely-queued requests on waiter threads; blocking
+        callers use :meth:`admit`, which composes the two with
+        identical counter behaviour.
+        """
         if klass not in COST_CLASSES:
             raise ParameterError(
                 f"unknown cost class {klass!r} (expected one of "
@@ -221,8 +257,21 @@ class AdmissionController:
                     obs.count("serving.shed")
                     obs.count(f"serving.shed.{klass}")
                     return None
-            queued_at = time.monotonic()
+            # Reserve the waiter slot *now*, under this same lock hold,
+            # so concurrent admit_nowait calls see the queue fill up —
+            # the shed bound stays exact even when redeeming happens on
+            # another thread later.
             self._waiters[klass] += 1
+            return _WaitReservation(klass, time.monotonic())
+
+    def finish_wait(
+        self, reservation: "_WaitReservation"
+    ) -> AdmissionTicket:
+        """Redeem a :class:`_WaitReservation`: block until a worker slot
+        frees, then return the ticket. Must be called exactly once per
+        reservation (it releases the reserved waiter slot)."""
+        klass = reservation.klass
+        with self._condition:
             try:
                 while self._slots_free <= 0:
                     self._condition.wait()
@@ -232,7 +281,7 @@ class AdmissionController:
             self._in_service[klass] += 1
             obs.count("serving.admitted")
             obs.count("serving.admitted.queued")
-            waited_s = time.monotonic() - queued_at
+            waited_s = time.monotonic() - reservation.queued_at
             obs.observe(f"serving.queue_wait_seconds.{klass}", waited_s)
             return AdmissionTicket(self, klass, queued_s=waited_s)
 

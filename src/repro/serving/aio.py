@@ -1,0 +1,493 @@
+"""The ``asyncio`` serving backend: one event loop, many connections.
+
+The threaded daemon (:mod:`repro.serving.daemon`) spends one OS thread
+per *connection*; past a few hundred idle clients that is all stack
+memory and scheduler pressure. This backend multiplexes every
+connection onto a single event loop and spends threads only on
+*requests*: the loop reads lines, decides admission inline (the
+non-blocking :meth:`~repro.serving.admission.AdmissionController.admit_nowait`
+half of the controller), and dispatches the CPU-bound protocol work to
+bounded executors so the loop itself never blocks.
+
+Everything above the transport is reused **verbatim** — the
+line-delimited ``repro.serve/1`` framing, :func:`handle_line`,
+admission counters, per-request deadlines, chaos stages, and the
+access log all behave exactly as under the threaded backend; the two
+are interchangeable behind ``ripple serve --backend {thread,aio}`` and
+the load harness measures them against the same gate.
+
+Dispatch is a three-pool split, mirroring the admission decision:
+
+* **control pool** (2 threads) — ops that bypass admission (``ping`` /
+  ``stats`` / ``shutdown``), parse errors, and already-shed requests:
+  tiny bounded work, kept off the worker pool so an overloaded daemon
+  stays inspectable;
+* **worker pool** (``workers`` threads) — requests admitted
+  immediately; the executor is sized to the admission slot count so an
+  admitted request starts without queueing again;
+* **wait pool** — requests holding a *reserved* queue slot
+  (:class:`_WaitReservation`); each redeems its reservation with the
+  blocking ``finish_wait`` there, then runs the request on the same
+  thread. A separate pool is what makes this deadlock-free: a waiter
+  never occupies a worker-pool thread that the slot it waits for
+  needs.
+
+Concurrency of admitted work is bounded by admission *slots* (exactly
+``workers``), not by thread counts — the wait pool only ever runs
+requests that hold a ticket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    _WaitReservation,
+    cost_class,
+)
+from repro.serving.chaos import SessionCrash
+from repro.serving.daemon import (
+    ServeSettings,
+    _open_context,
+    _oversized_response,
+)
+from repro.serving.protocol import ServerContext, handle_line
+
+__all__ = ["AioServerHandle", "serve_tcp_aio"]
+
+
+class _TicketView:
+    """Admission facade carrying a ticket acquired on the event loop.
+
+    :func:`handle_request` calls ``admission.admit(klass)`` itself; by
+    the time it does, the loop has already admitted this request, so
+    ``admit`` hands over the pre-acquired ticket. If the protocol layer
+    never consumes it (chaos crash, unsupported op), the dispatcher's
+    ``finally`` releases it — a slot can never leak."""
+
+    __slots__ = ("_inner", "_ticket", "consumed")
+
+    def __init__(
+        self, inner: AdmissionController, ticket: AdmissionTicket
+    ) -> None:
+        self._inner = inner
+        self._ticket = ticket
+        self.consumed = False
+
+    def admit(self, klass: str) -> AdmissionTicket:
+        self.consumed = True
+        return self._ticket
+
+    def release_unconsumed(self) -> None:
+        if not self.consumed:
+            self._ticket.release()
+
+    def retry_after_ms(self, klass: str) -> int:
+        return self._inner.retry_after_ms(klass)
+
+    def stats(self) -> dict:
+        return self._inner.stats()
+
+
+class _ShedView:
+    """Admission facade for a request the loop already shed.
+
+    ``admit`` answers None *without counting* — ``admit_nowait``
+    already recorded the shed — so :func:`handle_request` produces the
+    exact ``overloaded`` response (with a live ``retry_after_ms`` hint)
+    it would have under the threaded backend, once."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: AdmissionController) -> None:
+        self._inner = inner
+
+    def admit(self, klass: str) -> None:
+        return None
+
+    def retry_after_ms(self, klass: str) -> int:
+        return self._inner.retry_after_ms(klass)
+
+    def stats(self) -> dict:
+        return self._inner.stats()
+
+
+class _Session:
+    """One connection's loop-side state (for drain bookkeeping)."""
+
+    __slots__ = ("busy", "task", "writer")
+
+    def __init__(self, task, writer) -> None:
+        self.task = task
+        self.writer = writer
+        #: True while a request from this connection is in flight —
+        #: drain lets busy sessions finish and closes idle ones.
+        self.busy = False
+
+
+class _AioServer:
+    """The event loop, its executors, and the session registry."""
+
+    def __init__(self, engine, settings: ServeSettings) -> None:
+        self.engine = engine
+        self.settings = settings
+        self.admission = AdmissionController(
+            workers=max(1, settings.workers),
+            max_queue=settings.max_queue,
+            shed_policy=settings.shed_policy,
+        )
+        # Executor tasks and loop callbacks all record into the
+        # collector active at server creation, like threaded sessions.
+        self.collector = obs.get_collector()
+        self.context: ServerContext = _open_context(settings)
+        self.draining = threading.Event()
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.server: asyncio.AbstractServer | None = None
+        self.bound: tuple[str, int] | None = None
+        self._sessions: dict[object, _Session] = {}
+        workers = max(1, settings.workers)
+        self._worker_pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="ripple-aio-worker"
+        )
+        self._control_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="ripple-aio-control"
+        )
+        # Bounded queueing: at most max_queue reservations exist at
+        # once, so the wait pool is sized to redeem all of them
+        # concurrently. The legacy `block` policy queues without bound;
+        # excess waiters queue FIFO inside the executor, preserving
+        # its never-shed semantics.
+        if settings.shed_policy == "block":
+            wait_threads = max(4, workers)
+        else:
+            wait_threads = max(1, min(128, self.admission.max_queue))
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=wait_threads, thread_name_prefix="ripple-aio-wait"
+        )
+
+    # -- loop-side ------------------------------------------------------
+
+    async def startup(self, host: str, port: int) -> tuple[str, int]:
+        obs.set_collector(self.collector)
+        self.server = await asyncio.start_server(
+            self._session,
+            host=host,
+            port=port,
+            limit=self.settings.max_line_bytes,
+        )
+        sockname = self.server.sockets[0].getsockname()
+        self.bound = (sockname[0], sockname[1])
+        return self.bound
+
+    async def _session(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        session = _Session(task, writer)
+        self._sessions[task] = session
+        obs.count("serving.sessions")
+        limit = self.settings.max_line_bytes
+        try:
+            while True:
+                at_eof = False
+                try:
+                    raw = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if not exc.partial:
+                        return
+                    # Final unterminated line: answer it, then hang up.
+                    raw = exc.partial
+                    at_eof = True
+                except asyncio.LimitOverrunError as exc:
+                    await self._drain_oversized(reader, exc)
+                    if not await self._write(
+                        writer, _oversized_response(limit)
+                    ):
+                        return
+                    continue
+                except (ConnectionResetError, OSError):
+                    return
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    if at_eof:
+                        return
+                    continue
+                session.busy = True
+                try:
+                    response, keep_serving = await self._dispatch(line)
+                except SessionCrash:
+                    # Injected handler crash: the connection dies
+                    # without a response; the daemon survives.
+                    obs.count("serving.sessions.crashed")
+                    return
+                finally:
+                    session.busy = False
+                if response and not await self._write(writer, response):
+                    return
+                if at_eof or not keep_serving or self.draining.is_set():
+                    # A draining daemon finishes the in-flight request
+                    # (the response above went out) and then hangs up.
+                    return
+        except asyncio.CancelledError:
+            return
+        finally:
+            self._sessions.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
+
+    @staticmethod
+    async def _drain_oversized(reader, exc) -> None:
+        """Discard the rest of an over-limit line in bounded chunks."""
+        await reader.readexactly(exc.consumed)
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return
+            except asyncio.LimitOverrunError as more:
+                await reader.readexactly(more.consumed)
+            except asyncio.IncompleteReadError:
+                return
+
+    @staticmethod
+    async def _write(writer, response: str) -> bool:
+        try:
+            writer.write(response.encode("utf-8") + b"\n")
+            await writer.drain()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+    async def _dispatch(self, line: str) -> tuple[str, bool]:
+        """Admission on the loop, protocol work in an executor."""
+        try:
+            request = json.loads(line)
+        except ValueError:
+            request = None
+        klass = (
+            cost_class(request) if isinstance(request, dict) else None
+        )
+        loop = asyncio.get_running_loop()
+        if klass is None:
+            # Control op or parse error: bypass admission (the real
+            # controller rides along purely so `stats` can report it).
+            return await loop.run_in_executor(
+                self._control_pool, self._run_handle, line, self.admission
+            )
+        outcome = self.admission.admit_nowait(klass)
+        if outcome is None:
+            return await loop.run_in_executor(
+                self._control_pool,
+                self._run_handle,
+                line,
+                _ShedView(self.admission),
+            )
+        if isinstance(outcome, _WaitReservation):
+            return await loop.run_in_executor(
+                self._wait_pool, self._run_queued, line, outcome
+            )
+        return await loop.run_in_executor(
+            self._worker_pool,
+            self._run_ticketed,
+            line,
+            outcome,
+        )
+
+    # -- executor-side --------------------------------------------------
+
+    def _run_handle(self, line: str, admission) -> tuple[str, bool]:
+        obs.set_collector(self.collector)
+        return handle_line(
+            self.engine,
+            line,
+            request_timeout=self.settings.request_timeout,
+            reloader=self.settings.reloader,
+            admission=admission,
+            context=self.context,
+        )
+
+    def _run_ticketed(
+        self, line: str, ticket: AdmissionTicket
+    ) -> tuple[str, bool]:
+        obs.set_collector(self.collector)
+        view = _TicketView(self.admission, ticket)
+        try:
+            return handle_line(
+                self.engine,
+                line,
+                request_timeout=self.settings.request_timeout,
+                reloader=self.settings.reloader,
+                admission=view,
+                context=self.context,
+            )
+        finally:
+            view.release_unconsumed()
+
+    def _run_queued(
+        self, line: str, reservation: _WaitReservation
+    ) -> tuple[str, bool]:
+        obs.set_collector(self.collector)
+        ticket = self.admission.finish_wait(reservation)
+        return self._run_ticketed(line, ticket)
+
+    # -- shutdown -------------------------------------------------------
+
+    async def shutdown(self, drain_timeout: float) -> None:
+        assert self.server is not None
+        self.server.close()
+        await self.server.wait_closed()
+        # Idle sessions (parked in read, no request in flight) close
+        # immediately; busy ones get the drain budget to answer.
+        for session in list(self._sessions.values()):
+            if not session.busy:
+                session.writer.close()
+        tasks = [s.task for s in list(self._sessions.values())]
+        if tasks:
+            _, pending = await asyncio.wait(
+                tasks, timeout=max(0.0, drain_timeout)
+            )
+            for stuck in pending:
+                stuck.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+
+    def close_pools(self) -> None:
+        for pool in (
+            self._worker_pool,
+            self._wait_pool,
+            self._control_pool,
+        ):
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+class AioServerHandle:
+    """A running aio daemon: the same surface as ``TcpServerHandle``."""
+
+    def __init__(
+        self,
+        server: _AioServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — concrete even if 0 was asked."""
+        assert self._server.bound is not None
+        return self._server.bound
+
+    @property
+    def port(self) -> int:
+        """The bound port (ephemeral when 0 was requested)."""
+        return self.address[1]
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The daemon's admission controller (for gauges/metrics)."""
+        return self._server.admission
+
+    @property
+    def context(self) -> ServerContext:
+        """The daemon's serving context (uptime epoch, access log)."""
+        return self._server.context
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, stop the loop.
+
+        Busy sessions get ``drain_timeout`` seconds for their in-flight
+        request to answer; idle connections close immediately (their
+        parked reads wake on the transport closing). On return the
+        event loop thread has exited and the executors are shut down.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._server.draining.set()
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.shutdown(drain_timeout), self._loop
+        )
+        try:
+            future.result(timeout=drain_timeout + 5.0)
+        except Exception:  # noqa: BLE001 - stop must not raise
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._thread.is_alive():
+            self._loop.close()
+        self._server.close_pools()
+        if self._server.context.access_log is not None:
+            self._server.context.access_log.close()
+
+    def shutdown(self) -> None:
+        """Alias for :meth:`stop` (kept for symmetry with the threaded
+        handle)."""
+        self.stop()
+
+    def __enter__(self) -> "AioServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_tcp_aio(
+    engine,
+    settings: ServeSettings = ServeSettings(),
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    background: bool = False,
+) -> AioServerHandle | None:
+    """Serve ``repro.serve/1`` over TCP on an asyncio event loop.
+
+    Drop-in peer of :func:`repro.serving.daemon.serve_tcp`:
+    ``background=True`` returns an :class:`AioServerHandle` once the
+    socket is bound; otherwise this blocks until interrupted and
+    returns None. ``engine`` is anything with the
+    :class:`~repro.serving.engine.QueryEngine` query surface — a
+    :class:`~repro.serving.shard.ShardRouter` serves here unchanged.
+    """
+    server = _AioServer(engine, settings)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run_loop() -> None:
+        asyncio.set_event_loop(loop)
+        ready.set()
+        loop.run_forever()
+        # Drain loop-internal callbacks so transports close cleanly.
+        loop.run_until_complete(asyncio.sleep(0))
+
+    thread = threading.Thread(
+        target=run_loop, name="ripple-aio-loop", daemon=True
+    )
+    thread.start()
+    ready.wait()
+    startup = asyncio.run_coroutine_threadsafe(
+        server.startup(host, port), loop
+    )
+    try:
+        startup.result(timeout=30.0)
+    except Exception:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        server.close_pools()
+        raise
+    handle = AioServerHandle(server, loop, thread)
+    if background:
+        return handle
+    try:
+        threading.Event().wait()
+    finally:
+        handle.stop()
+    return None

@@ -130,6 +130,13 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def snapshot_keys(self) -> list:
+        """The cached keys, most-recently-used first — the working set
+        a reload's warm-cache handoff re-primes (values are *not*
+        copied: post-reload answers must come from the new index)."""
+        with self._lock:
+            return list(reversed(self._data.keys()))
+
 
 class QueryEngine:
     """Answers single and batched QkVCS queries from an index + cache.

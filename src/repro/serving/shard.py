@@ -1,0 +1,1013 @@
+"""Graph-partition sharding for the serving tier.
+
+The shard key is the paper's own structural fact, exploited by the
+top-down baseline of Wen et al.: every vertex of a k-VCC has at least
+k neighbours *inside* the component, so a k-VCC is a subgraph of the
+k-core; and a k-VCC is connected, so it lies inside **exactly one
+connected component of the k-core**. Partitioning vertices by the
+connected components of the ``shard_k``-core therefore never splits a
+k-VCC for any ``k >= shard_k`` — a point query routes to exactly one
+shard and still gets byte-identical answers.
+
+Levels below ``shard_k`` (level 1 is plain connected components, which
+*do* span core components) live in a small global **residual** index
+capped at ``max_k = shard_k - 1``; with the default ``shard_k = 2``
+the residual is just the connected components of the graph, built in
+O(V+E) without touching the enumerator.
+
+Why the per-shard answers are byte-identical to a single global index:
+
+* a k-VCC of G with ``k >= shard_k`` lies inside one ``shard_k``-core
+  component, whose vertices are wholly owned by one shard; the shard
+  subgraph is induced, so the component is still k-connected there,
+  and any strictly larger k-connected subgraph of the shard would be
+  k-connected in G too (contradicting maximality) — the component
+  *sets* per level are identical;
+* :func:`repro.core.hierarchy.kvcc_hierarchy` orders each level by
+  ``(-len(c), sorted(map(repr, c)))``, a global order; restricting a
+  global order to a subset preserves relative order, so the tuple
+  :meth:`KvccIndex.containing` returns is identical per vertex.
+
+``docs/scaling.md`` carries the full argument plus a runnable fence.
+
+The two moving parts here:
+
+* :class:`ShardSet` — the build-time artifact: N per-shard
+  :class:`~repro.serving.index.KvccIndex` files plus the residual,
+  described by a checksummed ``repro.kvcc-shards/1`` manifest with
+  per-shard fingerprints (``ripple index build --shards N``);
+* :class:`ShardRouter` — the scatter-gather query layer, duck-typing
+  :class:`~repro.serving.engine.QueryEngine` (``query`` /
+  ``query_batch`` / ``stats`` / ``reload`` / ``version``) so the wire
+  protocol and both daemons serve it unchanged. Point queries touch
+  exactly one shard; batches fan out to the owning shards over a
+  bounded pool and reassemble in request order; each shard runs
+  ``replicas`` independent :class:`QueryEngine` replicas (private LRU
+  caches) with round-robin selection, failover on replica faults
+  (``serving.router.replica_failovers``), and warm-cache handoff on
+  reload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections.abc import Hashable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.core.query import kvcc_containing
+from repro.errors import IndexCorruptionError, ParameterError, ParseError
+from repro.graph.adjacency import Graph
+from repro.graph.kcore import k_core
+from repro.graph.traversal import component_of, connected_components
+from repro.obs.histogram import Histogram
+from repro.resilience import Deadline
+from repro.serving import chaos
+from repro.serving.engine import (
+    BatchDeadlineExpired,
+    QueryEngine,
+    QueryResult,
+)
+from repro.serving.index import KvccIndex, _label_key, graph_fingerprint
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "ShardRouter",
+    "ShardSet",
+    "core_partition",
+    "pack_groups",
+]
+
+#: Schema identifier embedded in every shard manifest.
+SHARD_SCHEMA = "repro.kvcc-shards/1"
+
+#: Hot keys re-resolved per replica on a warm-cache reload handoff.
+_WARM_HANDOFF_LIMIT = 256
+
+
+def core_partition(graph: Graph, shard_k: int = 2) -> list[frozenset]:
+    """The shard-key groups: connected components of the shard_k-core.
+
+    Deterministically ordered largest-first (ties broken by sorted
+    labels), matching the hierarchy's own level order so group ids are
+    stable across rebuilds of the same graph.
+    """
+    if shard_k < 2:
+        raise ParameterError(f"shard_k must be >= 2, got {shard_k}")
+    core = k_core(graph, shard_k)
+    groups = [frozenset(c) for c in connected_components(core)]
+    return sorted(
+        groups,
+        key=lambda g: (-len(g), sorted(map(repr, g))),
+    )
+
+
+def pack_groups(groups: list[frozenset], shards: int) -> list[list[int]]:
+    """Assign group indices to ``shards`` bins, greedily balancing
+    vertex counts (largest group first, least-loaded bin, lowest bin id
+    on ties) — deterministic, so the same graph always packs the same
+    way."""
+    if shards < 1:
+        raise ParameterError(f"shards must be >= 1, got {shards}")
+    assignment: list[list[int]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    order = sorted(
+        range(len(groups)), key=lambda i: (-len(groups[i]), i)
+    )
+    for group_index in order:
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        assignment[target].append(group_index)
+        loads[target] += len(groups[group_index])
+    for bucket in assignment:
+        bucket.sort()
+    return assignment
+
+
+def _manifest_checksum(core: dict) -> str:
+    serialised = json.dumps(core, separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
+
+
+def _shard_file_name(stem: str, shard: int) -> str:
+    return f"{stem}.shard{shard:02d}.json"
+
+
+def _residual_file_name(stem: str) -> str:
+    return f"{stem}.residual.json"
+
+
+def _document_checksum(document: str) -> str:
+    """The embedded ``checksum`` field of a saved index document."""
+    payload = json.loads(document)
+    return str(payload.get("checksum", ""))
+
+
+class ShardSet:
+    """An index partitioned into shards plus the low-level residual.
+
+    Shard ``i`` holds a full :class:`KvccIndex` over the induced
+    subgraph of its assigned shard_k-core components — authoritative
+    for every level ``k >= shard_k`` of its vertices. The residual is a
+    global index capped at ``shard_k - 1``; it also carries the full
+    vertex set, making it the membership oracle for unknown-vertex
+    checks and for vertices the shard_k-core peeled away.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "max_k",
+        "num_edges",
+        "num_vertices",
+        "residual",
+        "shard_k",
+        "shards",
+    )
+
+    def __init__(
+        self,
+        *,
+        fingerprint: str,
+        shard_k: int,
+        max_k: int | None,
+        num_vertices: int,
+        num_edges: int,
+        residual: KvccIndex,
+        shards: tuple[KvccIndex, ...],
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.shard_k = shard_k
+        self.max_k = max_k
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.residual = residual
+        self.shards = shards
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        shards: int,
+        *,
+        shard_k: int = 2,
+        max_k: int | None = None,
+    ) -> "ShardSet":
+        """Partition ``graph`` and build every per-shard index.
+
+        ``max_k`` caps the per-shard ceilings exactly like a single
+        index's cap (queries above it fall back to live enumeration in
+        the router); it must be ``>= shard_k`` since levels below
+        ``shard_k`` live in the residual anyway.
+        """
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if max_k is not None and max_k < shard_k:
+            raise ParameterError(
+                f"max_k ({max_k}) must be >= shard_k ({shard_k}); "
+                f"levels below shard_k live in the residual index"
+            )
+        with obs.start_span(
+            "serving.shard.build", shards=shards, shard_k=shard_k
+        ):
+            groups = core_partition(graph, shard_k)
+            assignment = pack_groups(groups, shards)
+            shard_indexes = []
+            for bucket in assignment:
+                members: set = set()
+                for group_index in bucket:
+                    members |= groups[group_index]
+                shard_indexes.append(
+                    KvccIndex.build(graph.subgraph(members), max_k=max_k)
+                )
+            residual = KvccIndex.build(graph, max_k=shard_k - 1)
+        obs.count("serving.shard.builds")
+        obs.count("serving.shard.groups", len(groups))
+        return cls(
+            fingerprint=graph_fingerprint(graph),
+            shard_k=shard_k,
+            max_k=max_k,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            residual=residual,
+            shards=tuple(shard_indexes),
+        )
+
+    # -- derived facts --------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def ceiling(self) -> int:
+        """The largest indexed k across every shard and the residual."""
+        return max(
+            [self.residual.ceiling]
+            + [shard.ceiling for shard in self.shards]
+        )
+
+    @property
+    def complete(self) -> bool:
+        """Whether every k is answerable without a live fallback."""
+        return all(shard.complete for shard in self.shards)
+
+    def covers(self, k: int) -> bool:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if k < self.shard_k:
+            return True
+        return self.complete or k <= self.ceiling
+
+    def owner_map(self) -> dict[Hashable, int]:
+        """vertex → shard id for every sharded vertex (peeled vertices
+        — outside the shard_k-core — are absent: they provably belong
+        to no k-VCC at any ``k >= shard_k``)."""
+        owners: dict[Hashable, int] = {}
+        for shard_id, shard in enumerate(self.shards):
+            for vertex in shard.vertices:
+                owners[vertex] = shard_id
+        return owners
+
+    def is_stale(self, graph: Graph) -> bool:
+        return graph_fingerprint(graph) != self.fingerprint
+
+    # -- persistence ----------------------------------------------------
+
+    def _manifest_core(self, stem: str) -> dict:
+        return {
+            "schema": SHARD_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "shard_k": self.shard_k,
+            "max_k": self.max_k,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "residual": {
+                "file": os.path.basename(_residual_file_name(stem)),
+                "checksum": _document_checksum(self.residual.to_json()),
+                "fingerprint": self.residual.fingerprint,
+            },
+            "shards": [
+                {
+                    "file": os.path.basename(
+                        _shard_file_name(stem, shard_id)
+                    ),
+                    "checksum": _document_checksum(shard.to_json()),
+                    "fingerprint": shard.fingerprint,
+                    "num_vertices": shard.num_vertices,
+                    "num_edges": shard.num_edges,
+                    "ceiling": shard.ceiling,
+                }
+                for shard_id, shard in enumerate(self.shards)
+            ],
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the manifest at ``path`` plus sibling per-shard files.
+
+        The manifest (``repro.kvcc-shards/1``) records each shard
+        file's embedded document checksum and subgraph fingerprint, so
+        a swapped or bit-rotted shard file is caught at load time. The
+        shard and residual files are ordinary ``repro.kvcc-index/1``
+        documents written with the same atomic, fsynced
+        :meth:`KvccIndex.save`.
+        """
+        path = os.fspath(path)
+        stem = path[:-5] if path.endswith(".json") else path
+        for shard_id, shard in enumerate(self.shards):
+            shard.save(_shard_file_name(stem, shard_id))
+        self.residual.save(_residual_file_name(stem))
+        core = self._manifest_core(stem)
+        document = {
+            "schema": core["schema"],
+            "checksum": _manifest_checksum(core),
+        }
+        document.update(
+            (key, value) for key, value in core.items() if key != "schema"
+        )
+        serialised = json.dumps(document, separators=(",", ":")) + "\n"
+        temp_path = path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(serialised)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+        obs.count("serving.shard.saves")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ShardSet":
+        """Load a manifest and every shard file it references.
+
+        A manifest that fails parsing or its checksum — or a shard
+        file whose embedded checksum disagrees with the manifest — is
+        quarantined to ``<path>.corrupt`` and reported via
+        :class:`~repro.errors.IndexCorruptionError`, mirroring
+        :meth:`KvccIndex.load`.
+        """
+        path = os.fspath(path)
+        stem = path[:-5] if path.endswith(".json") else path
+        directory = os.path.dirname(path) or "."
+        with open(path, encoding="utf-8") as handle:
+            document = handle.read()
+        try:
+            payload = json.loads(document)
+            if payload.get("schema") != SHARD_SCHEMA:
+                raise ValueError(
+                    f"unknown schema {payload.get('schema')!r}, "
+                    f"expected {SHARD_SCHEMA!r}"
+                )
+            core = {
+                key: payload[key]
+                for key in (
+                    "schema",
+                    "fingerprint",
+                    "shard_k",
+                    "max_k",
+                    "num_vertices",
+                    "num_edges",
+                    "residual",
+                    "shards",
+                )
+            }
+            if payload.get("checksum") != _manifest_checksum(core):
+                raise ValueError("manifest checksum mismatch")
+        except (KeyError, TypeError, ValueError) as exc:
+            quarantine: str | None = f"{path}.corrupt"
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = None
+            obs.count("serving.index.quarantined")
+            raise IndexCorruptionError(
+                f"corrupt shard manifest at {path}: {exc}",
+                quarantine=quarantine,
+            ) from exc
+
+        def _load_member(entry: dict, fallback_name: str) -> KvccIndex:
+            member_path = os.path.join(
+                directory, str(entry.get("file", fallback_name))
+            )
+            index = KvccIndex.load(member_path)
+            actual = _document_checksum(index.to_json())
+            if actual != entry.get("checksum"):
+                raise IndexCorruptionError(
+                    f"shard file {member_path} does not match its "
+                    f"manifest checksum (file hashes to {actual!r})",
+                    quarantine=None,
+                )
+            if index.fingerprint != entry.get("fingerprint"):
+                raise IndexCorruptionError(
+                    f"shard file {member_path} was built from a "
+                    f"different subgraph than the manifest records",
+                    quarantine=None,
+                )
+            return index
+
+        try:
+            residual = _load_member(
+                core["residual"],
+                os.path.basename(_residual_file_name(stem)),
+            )
+            shards = tuple(
+                _load_member(
+                    entry,
+                    os.path.basename(_shard_file_name(stem, shard_id)),
+                )
+                for shard_id, entry in enumerate(core["shards"])
+            )
+        except ParseError as exc:  # pragma: no cover - re-wrapped below
+            raise IndexCorruptionError(
+                f"corrupt shard member of {path}: {exc}", quarantine=None
+            ) from exc
+        obs.count("serving.shard.loads")
+        return cls(
+            fingerprint=str(core["fingerprint"]),
+            shard_k=int(core["shard_k"]),
+            max_k=None if core["max_k"] is None else int(core["max_k"]),
+            num_vertices=int(core["num_vertices"]),
+            num_edges=int(core["num_edges"]),
+            residual=residual,
+            shards=shards,
+        )
+
+
+class _Replica:
+    """One shard replica: a private engine plus a health flag."""
+
+    __slots__ = ("engine", "healthy")
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        self.healthy = True
+
+
+class ShardRouter:
+    """Scatter-gather queries over a :class:`ShardSet` with replicas.
+
+    Duck-types :class:`QueryEngine` (``query`` / ``query_batch`` /
+    ``stats`` / ``reload`` / ``version``), so
+    :func:`repro.serving.protocol.handle_line` and both daemon front
+    ends serve it without changes.
+
+    Routing: ``k < shard_k`` → the residual replicas; ``k >= shard_k``
+    → the owning shard's replicas (or an empty ``"index"`` answer for
+    vertices the shard_k-core peeled away — they provably belong to no
+    such k-VCC); k above a capped ceiling → live fallback on the held
+    graph, exactly like a single engine. Batches group their queries
+    by target shard and fan out over a bounded pool (``fanout``
+    threads), reassembling answers in request order; a deadline
+    expiring mid-fan-out keeps the longest contiguous completed prefix
+    so clients see the same completed-prefix semantics the engine
+    gives.
+    """
+
+    def __init__(
+        self,
+        shard_set: ShardSet | None = None,
+        *,
+        graph: Graph | None = None,
+        shards: int | None = None,
+        replicas: int = 1,
+        shard_k: int = 2,
+        max_k: int | None = None,
+        cache_size: int = 1024,
+        fanout: int | None = None,
+    ) -> None:
+        if shard_set is None:
+            if graph is None:
+                raise ParameterError(
+                    "ShardRouter needs a shard_set, a graph, or both"
+                )
+            shard_set = ShardSet.build(
+                graph,
+                shards if shards is not None else 1,
+                shard_k=shard_k,
+                max_k=max_k,
+            )
+        if replicas < 1:
+            raise ParameterError(f"replicas must be >= 1, got {replicas}")
+        self._graph = graph
+        self._replica_count = replicas
+        self._cache_size = cache_size
+        self._fanout = (
+            fanout
+            if fanout is not None
+            else max(1, min(8, shard_set.num_shards))
+        )
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._version = 1
+        self._rr = 0
+        self._in_service = [0] * shard_set.num_shards
+        self._queued = [0] * shard_set.num_shards
+        self._adopt(shard_set)
+
+    def _adopt(self, shard_set: ShardSet) -> None:
+        """Install a shard set: fresh replicas, fresh owner map."""
+        self._shard_set = shard_set
+        self._owner = shard_set.owner_map()
+        self._replicas = [
+            [
+                _Replica(
+                    QueryEngine(index=shard, cache_size=self._cache_size)
+                )
+                for _ in range(self._replica_count)
+            ]
+            for shard in shard_set.shards
+        ]
+        self._residual_replicas = [
+            _Replica(
+                QueryEngine(
+                    index=shard_set.residual, cache_size=self._cache_size
+                )
+            )
+            for _ in range(self._replica_count)
+        ]
+        if len(self._in_service) != shard_set.num_shards:
+            self._in_service = [0] * shard_set.num_shards
+            self._queued = [0] * shard_set.num_shards
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The router generation (monotone; bumped on every reload)."""
+        return self._version
+
+    @property
+    def shard_set(self) -> ShardSet:
+        return self._shard_set
+
+    @property
+    def num_shards(self) -> int:
+        return self._shard_set.num_shards
+
+    @property
+    def graph(self) -> Graph | None:
+        return self._graph
+
+    def covers(self, k: int) -> bool:
+        return self._shard_set.covers(k)
+
+    def set_replica_health(
+        self, shard: int, replica: int, healthy: bool
+    ) -> None:
+        """Mark one replica up/down (operators, tests, orchestration).
+
+        A downed replica is skipped by selection; requests fail over to
+        its peers (degraded but correct answers — every replica serves
+        the same shard index)."""
+        with self._lock:
+            self._replicas[shard][replica].healthy = healthy
+
+    # -- replica selection & failover ------------------------------------
+
+    def _replica_ring(self, shard: int) -> list[_Replica]:
+        """Every replica of ``shard``, healthy ones first, starting at a
+        round-robin offset so read load spreads across replicas."""
+        with self._lock:
+            replicas = list(self._replicas[shard])
+            self._rr += 1
+            offset = self._rr % len(replicas)
+        rotated = replicas[offset:] + replicas[:offset]
+        return [r for r in rotated if r.healthy] + [
+            r for r in rotated if not r.healthy
+        ]
+
+    def _on_shard(self, shard: int, call):
+        """Run ``call(engine)`` against shard replicas with failover.
+
+        Expected query outcomes (:class:`ParameterError`,
+        :class:`BatchDeadlineExpired`) propagate — they are answers,
+        not replica failures. Anything else (an injected
+        ``engine.resolve`` fault, a genuine bug in one replica) counts
+        a ``serving.router.replica_failovers``, demotes the replica to
+        unhealthy (``set_replica_health`` restores it), and the next
+        replica takes the request; only when every replica fails does
+        the last error surface."""
+        started = time.perf_counter()
+        with self._lock:
+            self._in_service[shard] += 1
+        try:
+            ring = self._replica_ring(shard)
+            last_error: Exception | None = None
+            for replica in ring:
+                try:
+                    return call(replica.engine)
+                except (ParameterError, BatchDeadlineExpired):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - failover scope
+                    last_error = exc
+                    replica.healthy = False
+                    obs.count("serving.router.replica_failovers")
+            assert last_error is not None
+            raise last_error
+        finally:
+            with self._lock:
+                self._in_service[shard] -= 1
+            obs.observe(
+                f"serving.shard.handle_seconds.{shard}",
+                time.perf_counter() - started,
+            )
+
+    def _on_residual(self, call):
+        """Residual queries get the same replica ring + failover."""
+        replicas = list(self._residual_replicas)
+        with self._lock:
+            self._rr += 1
+            offset = self._rr % len(replicas)
+        rotated = replicas[offset:] + replicas[:offset]
+        last_error: Exception | None = None
+        for replica in rotated:
+            if not replica.healthy:
+                continue
+            try:
+                return call(replica.engine)
+            except (ParameterError, BatchDeadlineExpired):
+                raise
+            except Exception as exc:  # noqa: BLE001 - failover scope
+                last_error = exc
+                replica.healthy = False
+                obs.count("serving.router.replica_failovers")
+        if last_error is not None:
+            raise last_error
+        return call(replicas[0].engine)
+
+    # -- queries ---------------------------------------------------------
+
+    def query(
+        self,
+        vertex: Hashable,
+        k: int,
+        *,
+        deadline: Deadline | None = None,
+        request_id=None,
+    ) -> QueryResult:
+        """Answer one QkVCS query from exactly one shard."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if not self._shard_set.covers(k):
+            return self._live_fallback(vertex, k, deadline)
+        if k < self._shard_set.shard_k:
+            obs.count("serving.router.residual_routed")
+            return self._on_residual(
+                lambda engine: engine.query(
+                    vertex, k, deadline=deadline, request_id=request_id
+                )
+            )
+        shard = self._owner.get(vertex)
+        if shard is None:
+            if vertex not in self._shard_set.residual:
+                raise ParameterError(
+                    f"vertex {vertex!r} not in the served graph"
+                )
+            # Known vertex outside the shard_k-core: by the shard-key
+            # fact it belongs to no k-VCC at this level — answer empty
+            # without touching any shard.
+            obs.count("serving.queries")
+            obs.count("serving.router.unowned")
+            return QueryResult(vertex, k, (), "index")
+        obs.count("serving.router.point_routed")
+        return self._on_shard(
+            shard,
+            lambda engine: engine.query(
+                vertex, k, deadline=deadline, request_id=request_id
+            ),
+        )
+
+    def query_batch(
+        self,
+        queries: Iterable[tuple[Hashable, int]],
+        *,
+        deadline: Deadline | None = None,
+        request_id=None,
+    ) -> list[QueryResult]:
+        """Answer ``(vertex, k)`` pairs in order via bounded fan-out.
+
+        Queries are grouped by their target shard and the groups run
+        concurrently (at most ``fanout`` at once); answers reassemble
+        in request order. On deadline expiry mid-fan-out the longest
+        contiguous completed *prefix* rides the
+        :class:`BatchDeadlineExpired`, preserving the engine's
+        completed-prefix contract under parallelism.
+        """
+        pairs = list(queries)
+        span_attrs = {"size": len(pairs)}
+        if request_id is not None:
+            span_attrs["request_id"] = request_id
+        with obs.start_span("serving.batch", **span_attrs):
+            obs.count("serving.batches")
+            groups: dict[object, list[int]] = {}
+            for position, (vertex, k) in enumerate(pairs):
+                groups.setdefault(
+                    self._route_key(vertex, k), []
+                ).append(position)
+            if len(groups) <= 1 or self._fanout <= 1:
+                return self._batch_sequential(pairs, deadline, request_id)
+            return self._batch_fanout(pairs, groups, deadline, request_id)
+
+    def _route_key(self, vertex: Hashable, k: int):
+        """The fan-out bucket of one query (shard id, or a tag for the
+        residual / unowned / live paths)."""
+        try:
+            if k < 1 or not self._shard_set.covers(k):
+                return "live"
+        except ParameterError:
+            return "live"
+        if k < self._shard_set.shard_k:
+            return "residual"
+        shard = self._owner.get(vertex)
+        return shard if shard is not None else "unowned"
+
+    def _batch_sequential(
+        self, pairs, deadline, request_id
+    ) -> list[QueryResult]:
+        results: list[QueryResult] = []
+        for vertex, k in pairs:
+            if deadline is not None and deadline.expired():
+                obs.count("serving.deadline_expirations")
+                raise BatchDeadlineExpired(results, len(pairs))
+            results.append(
+                self.query(vertex, k, request_id=request_id)
+            )
+        return results
+
+    def _batch_fanout(
+        self, pairs, groups, deadline, request_id
+    ) -> list[QueryResult]:
+        collector = obs.get_collector()
+        expired = threading.Event()
+
+        def run_group(positions: list[int]):
+            obs.set_collector(collector)
+            answered: list[tuple[int, QueryResult]] = []
+            for position in positions:
+                if deadline is not None and deadline.expired():
+                    expired.set()
+                if expired.is_set():
+                    break
+                vertex, k = pairs[position]
+                answered.append(
+                    (
+                        position,
+                        self.query(
+                            vertex, k, request_id=request_id
+                        ),
+                    )
+                )
+            return answered
+
+        executor = self._ensure_executor()
+        shard_ids = sorted(groups, key=repr)
+        obs.count("serving.router.fanouts")
+        obs.count("serving.router.fanout_width", len(shard_ids))
+        for key in shard_ids:
+            if isinstance(key, int):
+                with self._lock:
+                    self._queued[key] += len(groups[key])
+        try:
+            futures = {
+                key: executor.submit(run_group, groups[key])
+                for key in shard_ids
+            }
+            answered: dict[int, QueryResult] = {}
+            error: Exception | None = None
+            for key in shard_ids:
+                try:
+                    for position, result in futures[key].result():
+                        answered[position] = result
+                except BatchDeadlineExpired:
+                    expired.set()
+                except Exception as exc:  # noqa: BLE001 - re-raised
+                    expired.set()
+                    if error is None:
+                        error = exc
+        finally:
+            for key in shard_ids:
+                if isinstance(key, int):
+                    with self._lock:
+                        self._queued[key] -= len(groups[key])
+        if error is not None:
+            raise error
+        if expired.is_set() or len(answered) < len(pairs):
+            prefix: list[QueryResult] = []
+            for position in range(len(pairs)):
+                if position not in answered:
+                    break
+                prefix.append(answered[position])
+            obs.count("serving.deadline_expirations")
+            raise BatchDeadlineExpired(prefix, len(pairs))
+        return [answered[position] for position in range(len(pairs))]
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._fanout,
+                    thread_name_prefix="ripple-shard",
+                )
+            return self._executor
+
+    def _live_fallback(
+        self, vertex: Hashable, k: int, deadline: Deadline | None
+    ) -> QueryResult:
+        """Above a capped ceiling: live enumeration on the held graph,
+        mirroring :meth:`QueryEngine.query`'s live tier exactly."""
+        obs.count("serving.queries")
+        obs.count("serving.cache.misses")
+        resolve_started = time.perf_counter()
+        if self._graph is None:
+            raise ParameterError(
+                f"k={k} is above the indexed ceiling and the router "
+                f"has no graph for a live fallback"
+            )
+        if vertex not in self._shard_set.residual:
+            raise ParameterError(
+                f"vertex {vertex!r} not in the served graph"
+            )
+        if deadline is not None and deadline.expired():
+            raise BatchDeadlineExpired([], 1)
+        obs.count("serving.live.fallbacks")
+        with obs.start_span("serving.live_fallback", k=k):
+            if k == 1:
+                component = component_of(self._graph, vertex)
+                components: tuple[frozenset, ...] = (
+                    (frozenset(component),) if len(component) > 1 else ()
+                )
+            else:
+                component = kvcc_containing(self._graph, vertex, k)
+                components = (
+                    () if component is None else (component,)
+                )
+        obs.observe(
+            "serving.resolve_seconds.live",
+            time.perf_counter() - resolve_started,
+        )
+        return QueryResult(vertex, k, components, "live")
+
+    # -- reload ----------------------------------------------------------
+
+    def _hot_keys(self) -> list[tuple[Hashable, int]]:
+        """The most-recently-used (vertex, k) keys across all replica
+        caches — the working set a reload handoff should keep warm."""
+        keys: list[tuple[Hashable, int]] = []
+        seen: set = set()
+        rings = [self._residual_replicas] + self._replicas
+        for ring in rings:
+            for replica in ring:
+                for key in replica.engine.cache.snapshot_keys():
+                    if key not in seen:
+                        seen.add(key)
+                        keys.append(key)
+        return keys[:_WARM_HANDOFF_LIMIT]
+
+    def _warm_handoff(self, hot_keys: list[tuple[Hashable, int]]) -> int:
+        """Prime the fresh generation's caches with the old working set.
+
+        Answers come straight from the new indexes (no counters, no
+        engine traffic) so the handoff is invisible to query metrics
+        beyond its own ``serving.shard.warmed_keys``."""
+        warmed = 0
+        shard_set = self._shard_set
+        for vertex, k in hot_keys:
+            try:
+                if k < 1 or not shard_set.covers(k):
+                    continue
+                if k < shard_set.shard_k:
+                    if vertex not in shard_set.residual:
+                        continue
+                    answer = shard_set.residual.containing(vertex, k)
+                    for replica in self._residual_replicas:
+                        replica.engine.cache.put((vertex, k), answer)
+                else:
+                    shard = self._owner.get(vertex)
+                    if shard is None:
+                        continue
+                    answer = shard_set.shards[shard].containing(vertex, k)
+                    for replica in self._replicas[shard]:
+                        replica.engine.cache.put((vertex, k), answer)
+                warmed += 1
+            except ParameterError:
+                continue
+        if warmed:
+            obs.count("serving.shard.warmed_keys", warmed)
+        return warmed
+
+    def reload(self, graph: Graph) -> None:
+        """Adopt a fresh copy of the served graph (versioned swap).
+
+        Mirrors :meth:`QueryEngine.reload`: the replacement shard set
+        is built *outside* the lock while in-flight queries ride the
+        old generation; the swap installs fresh replicas and bumps the
+        version atomically. The old generation's hottest cache keys are
+        re-resolved against the new indexes right after the swap
+        (**warm-cache handoff**), so a reload does not hand the next
+        caller a stone-cold cache.
+        """
+        current = self._shard_set
+        replacement = current
+        if current.is_stale(graph):
+            obs.count("serving.index.stale_rebuilds")
+            replacement = ShardSet.build(
+                graph,
+                current.num_shards,
+                shard_k=current.shard_k,
+                max_k=current.max_k,
+            )
+        chaos.fire("reload.swap")
+        hot_keys = self._hot_keys()
+        with self._lock:
+            obs.count("serving.engine.reloads")
+            obs.count("serving.router.reloads")
+            self._graph = graph
+            self._version += 1
+        self._adopt(replacement)
+        self._warm_handoff(hot_keys)
+
+    # -- stats -----------------------------------------------------------
+
+    def _shard_p95_ms(self, shard: int) -> float | None:
+        snapshots = obs.get_collector().histogram_snapshots()
+        snapshot = snapshots.get(f"serving.shard.handle_seconds.{shard}")
+        if snapshot is None:
+            return None
+        histogram = Histogram()
+        histogram.merge(snapshot)
+        if histogram.is_empty():
+            return None
+        return round(histogram.quantile(0.95) * 1000.0, 3)
+
+    def stats(self) -> dict:
+        """Engine-shaped stats plus ``router`` and per-shard gauges."""
+        shard_set = self._shard_set
+        cache_entries = sum(
+            len(replica.engine.cache)
+            for ring in [self._residual_replicas] + self._replicas
+            for replica in ring
+        )
+        with self._lock:
+            in_service = list(self._in_service)
+            queued = list(self._queued)
+        shard_rows = []
+        for shard_id, shard in enumerate(shard_set.shards):
+            replicas_up = sum(
+                1 for r in self._replicas[shard_id] if r.healthy
+            )
+            row = {
+                "shard": shard_id,
+                "num_vertices": shard.num_vertices,
+                "num_edges": shard.num_edges,
+                "ceiling": shard.ceiling,
+                "queue_depth": queued[shard_id],
+                "in_service": in_service[shard_id],
+                "replicas": len(self._replicas[shard_id]),
+                "replicas_up": replicas_up,
+                "cache_entries": sum(
+                    len(r.engine.cache)
+                    for r in self._replicas[shard_id]
+                ),
+            }
+            p95 = self._shard_p95_ms(shard_id)
+            if p95 is not None:
+                row["p95_ms"] = p95
+            shard_rows.append(row)
+        return {
+            "version": self._version,
+            "cache": {
+                "capacity": self._cache_size,
+                "entries": cache_entries,
+            },
+            "index": {
+                "ceiling": shard_set.ceiling,
+                "complete": shard_set.complete,
+                "num_vertices": shard_set.num_vertices,
+                "num_edges": shard_set.num_edges,
+                "fingerprint": shard_set.fingerprint,
+            },
+            "has_graph": self._graph is not None,
+            "router": {
+                "shards": shard_set.num_shards,
+                "replicas": self._replica_count,
+                "shard_k": shard_set.shard_k,
+                "fanout": self._fanout,
+                "residual_ceiling": shard_set.residual.ceiling,
+            },
+            "shards": shard_rows,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

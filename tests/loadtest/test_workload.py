@@ -138,6 +138,7 @@ class TestValidation:
             "smoke",
             "degrade",
             "chaos",
+            "sharded",
         }
         smoke = get_scenario("smoke")
         assert "storm" not in {kind for kind, _ in smoke.mix}

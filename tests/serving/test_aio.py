@@ -1,0 +1,306 @@
+"""The asyncio daemon: same wire contract as the threaded backend."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.graph.generators import planted_kvcc_graph
+from repro.resilience.faults import FaultPlan
+from repro.serving import (
+    KvccIndex,
+    QueryEngine,
+    ServeSettings,
+    ShardRouter,
+    serve_tcp_aio,
+)
+from repro.serving import chaos
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_kvcc_graph(2, 12, 3, seed=9)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    chaos.deactivate()
+
+
+def _ask(address, lines):
+    with socket.create_connection(address, timeout=10) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        answers = []
+        for line in lines:
+            stream.write(line + "\n")
+            stream.flush()
+            answers.append(json.loads(stream.readline()))
+        return answers
+
+
+class TestWireContract:
+    def test_session_in_order(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with serve_tcp_aio(engine, background=True) as handle:
+            answers = _ask(
+                handle.address,
+                [
+                    '{"op":"ping"}',
+                    '{"op":"query","v":0,"k":3,"id":1}',
+                    '{"op":"query","v":99,"k":3,"id":2}',
+                ],
+            )
+        assert answers[0]["protocol"].startswith("repro.serve/")
+        assert answers[1]["ok"] and 0 in answers[1]["components"][0]
+        assert answers[1]["id"] == 1
+        assert answers[2]["code"] == "unknown-vertex"
+
+    def test_malformed_line_answers_parse_session_survives(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with serve_tcp_aio(engine, background=True) as handle:
+            answers = _ask(handle.address, ["{nope", '{"op":"ping"}'])
+        assert answers[0]["code"] == "parse"
+        assert answers[1]["ok"]
+
+    def test_oversized_line_is_drained_session_survives(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        settings = ServeSettings(max_line_bytes=128)
+        with obs.collecting() as collector:
+            with serve_tcp_aio(
+                engine, settings, background=True
+            ) as handle:
+                huge = '{"op":"ping","pad":"' + "x" * 4096 + '"}'
+                answers = _ask(handle.address, [huge, '{"op":"ping"}'])
+        assert answers[0]["code"] == "bad-request"
+        assert "exceeds 128 bytes" in answers[0]["error"]
+        assert answers[1]["ok"]
+        assert collector.counter("serving.oversized_lines") == 1
+
+    def test_batch_and_deadline(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        settings = ServeSettings(request_timeout=0.0)
+        with serve_tcp_aio(engine, settings, background=True) as handle:
+            answers = _ask(
+                handle.address,
+                ['{"op":"batch","queries":[{"v":0,"k":2}]}'],
+            )
+        assert answers[0]["code"] == "deadline"
+        assert answers[0]["results"] == []
+
+    def test_counters_reach_the_servers_collector(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        with obs.collecting() as collector:
+            with serve_tcp_aio(engine, background=True) as handle:
+                _ask(handle.address, ['{"op":"query","v":0,"k":2}'])
+        assert collector.counter("serving.requests") == 1
+        assert collector.counter("serving.queries") == 1
+        assert collector.counter("serving.sessions") == 1
+
+    def test_concurrent_connections_all_answered(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        failures: list[Exception] = []
+
+        def client(vertex: int) -> None:
+            try:
+                answers = _ask(
+                    handle.address,
+                    [json.dumps({"op": "query", "v": vertex, "k": 3})],
+                )
+                assert answers[0]["ok"], answers[0]
+                assert vertex in answers[0]["components"][0]
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        with serve_tcp_aio(
+            engine, ServeSettings(workers=2), background=True
+        ) as handle:
+            threads = [
+                threading.Thread(target=client, args=(vertex,))
+                for vertex in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures
+
+
+class TestAdmission:
+    def test_sheds_when_saturated(self, graph):
+        # One worker, queue of one, slow resolves: 6 concurrent
+        # requests must yield exactly 2 answers and 4 sheds — the
+        # bounded-admission contract, now enforced on the event loop.
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        original = engine.query
+
+        def slow_query(*args, **kwargs):
+            time.sleep(0.25)
+            return original(*args, **kwargs)
+
+        engine.query = slow_query
+        settings = ServeSettings(workers=1, max_queue=1)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            answer = _ask(
+                handle.address, ['{"op":"query","v":0,"k":2}']
+            )[0]
+            with lock:
+                outcomes.append(
+                    "ok" if answer.get("ok") else answer["code"]
+                )
+
+        with obs.collecting() as collector:
+            with serve_tcp_aio(
+                engine, settings, background=True
+            ) as handle:
+                threads = [
+                    threading.Thread(target=client) for _ in range(6)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+        assert sorted(outcomes) == ["ok", "ok"] + ["overloaded"] * 4
+        assert collector.counter("serving.shed") == 4
+        assert collector.counter("serving.admitted") == 2
+
+    def test_overloaded_answer_carries_retry_after(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        original = engine.query
+
+        def slow_query(*args, **kwargs):
+            time.sleep(0.3)
+            return original(*args, **kwargs)
+
+        engine.query = slow_query
+        settings = ServeSettings(workers=1, max_queue=0, shed_policy="strict")
+        with serve_tcp_aio(engine, settings, background=True) as handle:
+            blocker = socket.create_connection(handle.address, timeout=10)
+            stream = blocker.makefile("rw", encoding="utf-8", newline="\n")
+            stream.write('{"op":"query","v":0,"k":2}\n')
+            stream.flush()
+            deadline = time.monotonic() + 5
+            shed = None
+            while time.monotonic() < deadline:
+                answer = _ask(
+                    handle.address, ['{"op":"query","v":1,"k":2}']
+                )[0]
+                if not answer.get("ok"):
+                    shed = answer
+                    break
+            assert json.loads(stream.readline())["ok"]
+            blocker.close()
+        assert shed is not None and shed["code"] == "overloaded"
+        assert shed["retry_after_ms"] >= 0
+
+    def test_stats_answers_while_workers_are_busy(self, graph):
+        # The control plane must never queue behind data traffic.
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        original = engine.query
+
+        def slow_query(*args, **kwargs):
+            time.sleep(0.5)
+            return original(*args, **kwargs)
+
+        engine.query = slow_query
+        settings = ServeSettings(workers=1, max_queue=4)
+        with serve_tcp_aio(engine, settings, background=True) as handle:
+            busy = socket.create_connection(handle.address, timeout=10)
+            stream = busy.makefile("rw", encoding="utf-8", newline="\n")
+            stream.write('{"op":"query","v":0,"k":2}\n')
+            stream.flush()
+            started = time.monotonic()
+            stats = _ask(handle.address, ['{"op":"stats"}'])[0]
+            elapsed = time.monotonic() - started
+            assert json.loads(stream.readline())["ok"]
+            busy.close()
+        assert stats["ok"] and "admission" in stats["stats"]
+        assert elapsed < 0.4  # did not wait for the slow worker
+
+
+class TestLifecycle:
+    def test_handle_surface_matches_threaded_backend(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        handle = serve_tcp_aio(engine, background=True)
+        try:
+            assert handle.port == handle.address[1] > 0
+            assert handle.admission.stats()["shed_policy"]
+            assert handle.context is not None
+        finally:
+            handle.stop()
+        handle.stop()  # idempotent
+        handle.shutdown()  # alias
+
+    def test_stop_unblocks_idle_sessions(self, graph):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        handle = serve_tcp_aio(engine, background=True)
+        idle = socket.create_connection(handle.address, timeout=10)
+        stream = idle.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"op":"ping"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["ok"]
+        handle.stop(drain_timeout=1.0)
+        assert stream.readline() == ""  # server closed the connection
+        idle.close()
+
+    def test_session_crash_chaos_drops_connection_daemon_survives(
+        self, graph
+    ):
+        engine = QueryEngine(graph, KvccIndex.build(graph))
+        chaos.activate(FaultPlan.parse("serve.handle:0:crash"))
+        with obs.collecting() as collector:
+            with serve_tcp_aio(engine, background=True) as handle:
+                with socket.create_connection(
+                    handle.address, timeout=10
+                ) as sock:
+                    stream = sock.makefile(
+                        "rw", encoding="utf-8", newline="\n"
+                    )
+                    stream.write('{"op":"ping"}\n')
+                    stream.flush()
+                    assert stream.readline() == ""  # EOF, no response
+                answers = _ask(handle.address, ['{"op":"ping"}'])
+                assert answers[0]["ok"]
+        assert collector.counter("serving.sessions.crashed") == 1
+
+
+class TestShardedServing:
+    def test_router_behind_aio_reports_shard_gauges(self):
+        sharded = planted_kvcc_graph(3, 30, 4, seed=7, bridge_width=0)
+        with ShardRouter(graph=sharded, shards=3, replicas=2) as router:
+            with serve_tcp_aio(router, background=True) as handle:
+                answers = _ask(
+                    handle.address,
+                    ['{"op":"query","v":0,"k":4}', '{"op":"stats"}'],
+                )
+        assert answers[0]["ok"] and answers[0]["source"] == "index"
+        rows = answers[1]["gauges"]["shards"]
+        assert len(rows) == 3
+        assert all(row["replicas"] == 2 for row in rows)
+        assert answers[1]["stats"]["router"]["shards"] == 3
+
+    def test_router_answers_match_engine_over_the_wire(self):
+        sharded = planted_kvcc_graph(3, 30, 4, seed=7, bridge_width=0)
+        engine = QueryEngine(
+            sharded, KvccIndex.build(sharded), cache_size=0
+        )
+        lines = [
+            json.dumps({"op": "query", "v": v, "k": k})
+            for v in sorted(sharded.vertices())[::9]
+            for k in (1, 2, 4)
+        ]
+        with ShardRouter(graph=sharded, shards=3, cache_size=0) as router:
+            with serve_tcp_aio(router, background=True) as aio_handle:
+                sharded_answers = _ask(aio_handle.address, lines)
+        from repro.serving import serve_tcp
+
+        with serve_tcp(engine, background=True) as thread_handle:
+            engine_answers = _ask(thread_handle.address, lines)
+        for mine, theirs in zip(sharded_answers, engine_answers):
+            assert mine["components"] == theirs["components"]

@@ -1,0 +1,368 @@
+"""Sharded serving: partitioner, manifest, router differential + edges."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import IndexCorruptionError, ParameterError
+from repro.graph.generators import planted_kvcc_graph
+from repro.resilience import Deadline
+from repro.serving import (
+    BatchDeadlineExpired,
+    KvccIndex,
+    QueryEngine,
+    SHARD_SCHEMA,
+    ShardRouter,
+    ShardSet,
+)
+from repro.serving.shard import core_partition, pack_groups
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Three *disconnected* planted communities (bridge_width=0): three
+    # 2-core components, so a 3-shard build genuinely spreads them.
+    return planted_kvcc_graph(3, 30, 4, seed=7, bridge_width=0)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    """The monolithic engine the router must match byte-for-byte."""
+    return QueryEngine(graph, KvccIndex.build(graph), cache_size=0)
+
+
+class TestPartitioner:
+    def test_groups_are_core_components_largest_first(self, graph):
+        groups = core_partition(graph, shard_k=2)
+        assert len(groups) == 3
+        assert [len(g) for g in groups] == sorted(
+            (len(g) for g in groups), reverse=True
+        )
+        covered = set()
+        for group in groups:
+            assert not covered & group  # disjoint
+            covered |= group
+
+    def test_partition_is_deterministic(self, graph):
+        assert core_partition(graph) == core_partition(graph)
+        assert pack_groups(core_partition(graph), 2) == pack_groups(
+            core_partition(graph), 2
+        )
+
+    def test_shard_k_below_two_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            core_partition(graph, shard_k=1)
+
+    def test_packing_balances_vertex_counts(self, graph):
+        groups = core_partition(graph)
+        assignment = pack_groups(groups, 2)
+        loads = [
+            sum(len(groups[i]) for i in bucket) for bucket in assignment
+        ]
+        # Three ~30-vertex groups over two bins: 2-vs-1 split.
+        assert sorted(len(b) for b in assignment) == [1, 2]
+        assert max(loads) <= 2 * min(loads) + max(map(len, groups))
+
+    def test_no_group_spans_shards(self, graph):
+        # The shard-key correctness fact, checked directly: every
+        # shard_k-core component lands wholly inside one shard.
+        shard_set = ShardSet.build(graph, 3)
+        owners = shard_set.owner_map()
+        for group in core_partition(graph):
+            assert len({owners[v] for v in group}) == 1
+
+
+class TestShardSet:
+    def test_build_counts_and_shapes(self, graph):
+        with obs.collecting() as collector:
+            shard_set = ShardSet.build(graph, 3)
+        assert collector.counter("serving.shard.builds") == 1
+        assert collector.counter("serving.shard.groups") == 3
+        assert shard_set.num_shards == 3
+        assert shard_set.num_vertices == graph.num_vertices
+        assert shard_set.residual.ceiling == 1
+        assert shard_set.complete and shard_set.covers(1)
+        assert shard_set.covers(shard_set.ceiling)
+
+    def test_max_k_below_shard_k_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            ShardSet.build(graph, 2, shard_k=3, max_k=2)
+
+    def test_more_shards_than_groups_leaves_empty_shards(self, graph):
+        shard_set = ShardSet.build(graph, 5)
+        sizes = sorted(s.num_vertices for s in shard_set.shards)
+        assert sizes[:2] == [0, 0]  # 3 groups into 5 bins
+        assert sum(sizes) == sum(
+            len(g) for g in core_partition(graph)
+        )
+
+    def test_save_load_round_trip(self, graph, tmp_path):
+        shard_set = ShardSet.build(graph, 2)
+        path = tmp_path / "g.shards.json"
+        with obs.collecting() as collector:
+            shard_set.save(path)
+            loaded = ShardSet.load(path)
+        assert collector.counter("serving.shard.saves") == 1
+        assert collector.counter("serving.shard.loads") == 1
+        assert loaded.fingerprint == shard_set.fingerprint
+        assert loaded.shard_k == shard_set.shard_k
+        assert loaded.num_shards == shard_set.num_shards
+        for mine, theirs in zip(shard_set.shards, loaded.shards):
+            assert mine.fingerprint == theirs.fingerprint
+            assert mine.ceiling == theirs.ceiling
+        siblings = sorted(p.name for p in tmp_path.iterdir())
+        assert siblings == [
+            "g.shards.json",
+            "g.shards.residual.json",
+            "g.shards.shard00.json",
+            "g.shards.shard01.json",
+        ]
+
+    def test_corrupt_manifest_is_quarantined(self, graph, tmp_path):
+        shard_set = ShardSet.build(graph, 2)
+        path = tmp_path / "g.shards.json"
+        shard_set.save(path)
+        payload = json.loads(path.read_text())
+        payload["shard_k"] = 99  # break the checksummed core
+        path.write_text(json.dumps(payload))
+        with obs.collecting() as collector:
+            with pytest.raises(IndexCorruptionError) as excinfo:
+                ShardSet.load(path)
+        assert collector.counter("serving.index.quarantined") == 1
+        assert excinfo.value.quarantine == f"{path}.corrupt"
+        assert not path.exists()
+        assert (tmp_path / "g.shards.json.corrupt").exists()
+
+    def test_swapped_shard_file_is_rejected(self, graph, tmp_path):
+        shard_set = ShardSet.build(graph, 2)
+        path = tmp_path / "g.shards.json"
+        shard_set.save(path)
+        # Swap shard00 for shard01's bytes: the per-member checksum in
+        # the manifest must catch the substitution.
+        shard0 = tmp_path / "g.shards.shard00.json"
+        shard1 = tmp_path / "g.shards.shard01.json"
+        shard0.write_text(shard1.read_text())
+        with pytest.raises(IndexCorruptionError) as excinfo:
+            ShardSet.load(path)
+        assert excinfo.value.quarantine is None  # manifest itself is fine
+        assert path.exists()
+
+    def test_schema_constant_matches_manifest(self, graph, tmp_path):
+        path = tmp_path / "g.shards.json"
+        ShardSet.build(graph, 1).save(path)
+        assert json.loads(path.read_text())["schema"] == SHARD_SCHEMA
+        assert SHARD_SCHEMA == "repro.kvcc-shards/1"
+
+
+class TestDifferential:
+    """The acceptance gate: N-shard answers byte-identical to one engine."""
+
+    def _routers(self, graph, request):
+        for shards, replicas in ((1, 1), (3, 1), (3, 2)):
+            router = ShardRouter(
+                graph=graph, shards=shards, replicas=replicas, cache_size=0
+            )
+            request.addfinalizer(router.close)
+            yield router
+
+    def test_every_vertex_every_k_matches(self, graph, oracle, request):
+        ceiling = oracle.ensure_index().ceiling
+        for router in self._routers(graph, request):
+            for vertex in sorted(graph.vertices()):
+                for k in range(1, ceiling + 1):
+                    mine = router.query(vertex, k)
+                    theirs = oracle.query(vertex, k)
+                    assert mine.components == theirs.components, (
+                        router.num_shards,
+                        vertex,
+                        k,
+                    )
+                    assert mine.source == theirs.source
+
+    def test_unknown_vertex_message_is_identical(self, graph, request):
+        for router in self._routers(graph, request):
+            with pytest.raises(ParameterError) as excinfo:
+                router.query("nope", 2)
+            assert "vertex 'nope' not in the served graph" in str(
+                excinfo.value
+            )
+
+    def test_batch_matches_in_request_order(self, graph, oracle, request):
+        vertices = sorted(graph.vertices())
+        pairs = [(vertices[i * 7 % len(vertices)], 1 + i % 5)
+                 for i in range(40)]
+        expected = oracle.query_batch(pairs)
+        for router in self._routers(graph, request):
+            answers = router.query_batch(pairs)
+            assert [
+                (a.vertex, a.k, a.components) for a in answers
+            ] == [(e.vertex, e.k, e.components) for e in expected]
+
+    def test_batch_fans_out_across_shards(self, graph):
+        vertices = sorted(graph.vertices())
+        pairs = [(v, 4) for v in vertices[::5]]
+        with ShardRouter(graph=graph, shards=3, cache_size=0) as router:
+            with obs.collecting() as collector:
+                router.query_batch(pairs)
+            assert collector.counter("serving.router.fanouts") == 1
+            assert collector.counter("serving.router.fanout_width") == 3
+            assert collector.counter("serving.batches") == 1
+
+
+class TestRouterEdges:
+    def test_boundary_vertex_stable_across_mutation_free_rebuild(
+        self, graph, oracle
+    ):
+        # A vertex right on a shard boundary (its community is wholly
+        # one shard; the *graph* is unchanged) must answer identically
+        # before and after a reload of the same graph.
+        with ShardRouter(graph=graph, shards=3, replicas=2) as router:
+            probe = next(iter(router.shard_set.shards[1].vertices))
+            before = router.query(probe, 4)
+            version = router.version
+            with obs.collecting() as collector:
+                router.reload(graph)  # mutation-free: same fingerprint
+            assert collector.counter("serving.router.reloads") == 1
+            assert collector.counter("serving.index.stale_rebuilds") == 0
+            after = router.query(probe, 4)
+            assert router.version == version + 1
+            assert after.components == before.components
+            assert (
+                after.components
+                == oracle.query(probe, 4).components
+            )
+
+    def test_reload_warms_the_new_generation_caches(self, graph):
+        with ShardRouter(graph=graph, shards=3, cache_size=64) as router:
+            for vertex in sorted(graph.vertices())[:10]:
+                router.query(vertex, 4)
+            with obs.collecting() as collector:
+                router.reload(graph)
+            warmed = collector.counter("serving.shard.warmed_keys")
+            assert warmed >= 10
+            # The warmed keys landed in the *new* replicas' caches.
+            assert router.stats()["cache"]["entries"] >= warmed
+
+    def test_batch_deadline_mid_fanout_keeps_completed_prefix(
+        self, graph, oracle
+    ):
+        # A clock that expires the deadline after a few checks: the
+        # fan-out must stop, and the exception must carry the longest
+        # contiguous completed prefix (the engine's own contract).
+        vertices = sorted(graph.vertices())
+        pairs = [(v, 4) for v in vertices[::3]]
+        ticks = iter(range(1000))
+
+        def clock():
+            return 0.0 if next(ticks) < 4 else 99.0
+
+        with ShardRouter(graph=graph, shards=3, cache_size=0) as router:
+            with obs.collecting() as collector:
+                with pytest.raises(BatchDeadlineExpired) as excinfo:
+                    router.query_batch(
+                        pairs, deadline=Deadline(1.0, clock=clock)
+                    )
+            assert (
+                collector.counter("serving.deadline_expirations") == 1
+            )
+        exc = excinfo.value
+        assert exc.total == len(pairs)
+        assert len(exc.completed) < len(pairs)
+        expected = oracle.query_batch(pairs[: len(exc.completed)])
+        assert [r.components for r in exc.completed] == [
+            r.components for r in expected
+        ]
+
+    def test_replica_down_fails_over_and_counts(self, graph):
+        with ShardRouter(graph=graph, shards=1, replicas=2) as router:
+            broken = router._replicas[0][0]
+
+            def explode(*args, **kwargs):
+                raise RuntimeError("replica fell over")
+
+            broken.engine.query = explode
+            probe = sorted(graph.vertices())[0]
+            with obs.collecting() as collector:
+                # Round-robin guarantees the broken replica is offered
+                # the request at least once over two queries.
+                first = router.query(probe, 4)
+                second = router.query(probe, 4)
+            assert first.components and second.components
+            assert (
+                collector.counter("serving.router.replica_failovers") >= 1
+            )
+            # The failed replica was demoted; later traffic skips it.
+            assert broken.healthy is False
+            stats = router.stats()
+            assert stats["shards"][0]["replicas_up"] == 1
+            router.set_replica_health(0, 0, True)
+            assert router.stats()["shards"][0]["replicas_up"] == 2
+
+    def test_all_replicas_down_surfaces_the_error(self, graph):
+        with ShardRouter(graph=graph, shards=1, replicas=1) as router:
+            def explode(*args, **kwargs):
+                raise RuntimeError("no replicas left")
+
+            router._replicas[0][0].engine.query = explode
+            probe = sorted(graph.vertices())[0]
+            with pytest.raises(RuntimeError, match="no replicas left"):
+                router.query(probe, 4)
+
+    def test_empty_shard_serves_nothing_but_stays_healthy(self, graph):
+        # 5 bins for 3 groups: two shards are empty. Queries never
+        # route to them, and stats still report them as up.
+        with ShardRouter(graph=graph, shards=5) as router:
+            empties = [
+                row
+                for row in router.stats()["shards"]
+                if row["num_vertices"] == 0
+            ]
+            assert len(empties) == 2
+            assert all(row["replicas_up"] == 1 for row in empties)
+            for vertex in sorted(graph.vertices())[:5]:
+                assert router.query(vertex, 4).components
+
+    def test_unowned_vertex_answers_empty_from_index(self, graph):
+        # Vertices the shard_k-core peeled away belong to no k-VCC at
+        # k >= shard_k: the router answers empty without any shard.
+        g = graph.copy()
+        g.add_edge(999999, sorted(graph.vertices())[0])
+        with ShardRouter(graph=g, shards=2) as router:
+            with obs.collecting() as collector:
+                result = router.query(999999, 3)
+            assert result.components == ()
+            assert result.source == "index"
+            assert collector.counter("serving.router.unowned") == 1
+            # Below shard_k the residual still answers it.
+            low = router.query(999999, 1)
+            assert low.components and 999999 in low.components[0]
+
+    def test_point_queries_route_to_exactly_one_shard(self, graph):
+        with ShardRouter(graph=graph, shards=3, cache_size=0) as router:
+            probe = sorted(graph.vertices())[0]
+            with obs.collecting() as collector:
+                router.query(probe, 4)
+            assert collector.counter("serving.router.point_routed") == 1
+            touched = [
+                name
+                for name in collector.histogram_snapshots()
+                if name.startswith("serving.shard.handle_seconds.")
+            ]
+            assert len(touched) == 1
+
+    def test_stats_shape_is_engine_compatible(self, graph):
+        with ShardRouter(graph=graph, shards=2, replicas=2) as router:
+            stats = router.stats()
+        assert stats["version"] == 1
+        assert stats["has_graph"] is True
+        assert set(stats["router"]) == {
+            "shards",
+            "replicas",
+            "shard_k",
+            "fanout",
+            "residual_ceiling",
+        }
+        for row in stats["shards"]:
+            assert row["replicas"] == 2 and row["replicas_up"] == 2
+            assert row["queue_depth"] == 0 and row["in_service"] == 0
